@@ -1,0 +1,205 @@
+// Package parascope's root benchmark harness: one benchmark per
+// regenerated table and figure of the evaluation (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for recorded results).
+package parascope
+
+import (
+	"fmt"
+	"testing"
+
+	"parascope/internal/core"
+	"parascope/internal/dataflow"
+	"parascope/internal/dep"
+	"parascope/internal/experiments"
+	"parascope/internal/fortran"
+	"parascope/internal/interp"
+	"parascope/internal/workloads"
+)
+
+// BenchmarkT1Suite measures parsing and measuring the whole program
+// suite (Table 1).
+func BenchmarkT1Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads.All() {
+			if _, err := w.Measure(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkT2Sessions replays every scripted user session (Table 2):
+// full analysis plus the interactive actions per workload.
+func BenchmarkT2Sessions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSessions(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT3Ablation runs the analysis-capability matrix (Table 3):
+// every workload under every analysis configuration.
+func BenchmarkT3Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF1Render renders the Ped window (Figure 1).
+func BenchmarkF1Render(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF2PowerSteering runs the worked transformation transcript.
+func BenchmarkF2PowerSteering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PowerSteering(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5DepTests measures the hierarchical dependence test suite
+// over all workloads (the per-test effectiveness experiment).
+func BenchmarkE5DepTests(b *testing.B) {
+	// Pre-parse and pre-analyze data-flow once; the benchmark times
+	// dependence testing itself.
+	type unitDF struct{ df *dataflow.Analysis }
+	var dfs []unitDF
+	for _, w := range workloads.All() {
+		f := w.MustParse()
+		for _, u := range f.Units {
+			dfs = append(dfs, unitDF{dataflow.Analyze(u, nil)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range dfs {
+			dep.Analyze(x.df, nil, nil, dep.DefaultOptions())
+		}
+	}
+}
+
+// BenchmarkE6Speedup executes every parallelized workload at several
+// worker counts; b.Run sub-benchmarks give per-configuration timings,
+// and the reported simulated cycles give machine-independent speedup.
+func BenchmarkE6Speedup(b *testing.B) {
+	prepared := map[string]*core.Session{}
+	for _, w := range workloads.All() {
+		s, err := w.Session()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Script(s); err != nil {
+			b.Fatal(err)
+		}
+		prepared[w.Name] = s
+	}
+	for _, w := range workloads.All() {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", w.Name, workers), func(b *testing.B) {
+				s := prepared[w.Name]
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					_, c, err := interp.RunCaptureSim(s.File, workers, w.Input)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+				b.ReportMetric(float64(cycles), "simcycles")
+			})
+		}
+	}
+}
+
+// BenchmarkE7Incremental compares whole-program reanalysis against
+// the incremental per-unit path on a spec77-scale program.
+func BenchmarkE7Incremental(b *testing.B) {
+	src := experiments.BigProgram(40)
+	s, err := core.Open("big.f", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.AnalyzeAll()
+		}
+	})
+	b.Run("one-unit", func(b *testing.B) {
+		u := s.File.Unit("unit0")
+		for i := 0; i < b.N; i++ {
+			s.ReanalyzeUnit(u)
+		}
+	})
+	b.Run("edit", func(b *testing.B) {
+		if err := s.SelectUnit("unit0"); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			target := s.Loops()[0].Do.Body[0]
+			if err := s.EditStmt(target.ID(), "t = x(i)*0.5 + x(i-1)*0.25"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5NoRanges is the design-choice ablation bench: the
+// dependence suite with the range-based (Banerjee/bounds) tier
+// disabled — cheaper per pair but conservative (see
+// TestRangeTestsAblation for the precision difference).
+func BenchmarkE5NoRanges(b *testing.B) {
+	var dfs []*dataflow.Analysis
+	for _, w := range workloads.All() {
+		f := w.MustParse()
+		for _, u := range f.Units {
+			dfs = append(dfs, dataflow.Analyze(u, nil))
+		}
+	}
+	opts := dep.DefaultOptions()
+	opts.UseRanges = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, df := range dfs {
+			dep.Analyze(df, nil, nil, opts)
+		}
+	}
+}
+
+// BenchmarkParser measures front-end throughput on the biggest
+// synthetic program.
+func BenchmarkParser(b *testing.B) {
+	src := experiments.BigProgram(40)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := fortran.Parse("big.f", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterp measures interpreter throughput (statements/sec).
+func BenchmarkInterp(b *testing.B) {
+	w := workloads.ByName("direct")
+	f := w.MustParse()
+	m := interp.New(f)
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	stmts := m.StmtsExecuted()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := interp.RunCapture(f, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stmts)*float64(b.N)/b.Elapsed().Seconds(), "stmts/s")
+}

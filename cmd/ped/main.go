@@ -1,0 +1,70 @@
+// Command ped is the text-mode ParaScope Editor: it opens a Fortran
+// source file (or one of the built-in workload programs with
+// -workload), runs the full analysis, and accepts the interactive
+// commands documented by `help` — selecting loops, browsing and
+// marking dependences, asserting variable values, applying power-
+// steering transformations, editing, and executing the program on
+// the parallel interpreter.
+//
+// Usage:
+//
+//	ped file.f
+//	ped -workload spec77
+//	echo 'auto' | ped -workload pneoss -batch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parascope/internal/core"
+	"parascope/internal/repl"
+	"parascope/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "open a built-in workload program instead of a file")
+	batch := flag.Bool("batch", false, "suppress the prompt (for piped command scripts)")
+	flag.Parse()
+
+	var (
+		session *core.Session
+		err     error
+	)
+	switch {
+	case *workload != "":
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "ped: unknown workload %q; available:\n", *workload)
+			for _, x := range workloads.All() {
+				fmt.Fprintf(os.Stderr, "  %s — %s\n", x.Name, x.Description)
+			}
+			os.Exit(2)
+		}
+		session, err = w.Session()
+	case flag.NArg() == 1:
+		var src []byte
+		src, err = os.ReadFile(flag.Arg(0))
+		if err == nil {
+			session, err = core.Open(flag.Arg(0), string(src))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ped [-workload name] [file.f]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ped: %v\n", err)
+		os.Exit(1)
+	}
+
+	r := repl.New(session, os.Stdout)
+	if !*batch {
+		fmt.Printf("ParaScope Editor — %s (%d units); type help\n",
+			session.File.Path, len(session.File.Units))
+	}
+	if err := r.Run(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "ped: %v\n", err)
+		os.Exit(1)
+	}
+}

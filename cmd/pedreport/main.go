@@ -1,0 +1,61 @@
+// Command pedreport regenerates every table and figure of the
+// reproduced evaluation: the program suite (Table 1), the scripted
+// user sessions (Table 2), the analysis-ablation matrix (Table 3),
+// the Ped window (Figure 1), the power-steering transcript, the
+// dependence-test effectiveness breakdown, the measured parallel
+// speedups, and the incremental-reanalysis timings.
+//
+// Usage:
+//
+//	pedreport            # everything
+//	pedreport -only t3   # one experiment (t1 t2 t3 f1 f2 e5 e6 e7)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parascope/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: t1 t2 t3 f1 f2 e5 e6 e7")
+	repeats := flag.Int("repeats", 3, "timing repetitions for the speedup experiment")
+	flag.Parse()
+
+	type exp struct {
+		id string
+		fn func() (string, error)
+	}
+	// The speedup experiment reports *simulated* critical-path
+	// cycles, which do not depend on the host's core count, so the
+	// sweep always covers the paper's 8-processor configuration.
+	workers := []int{1, 2, 4, 8}
+	list := []exp{
+		{"t1", experiments.Table1},
+		{"t2", experiments.Table2},
+		{"t3", experiments.Table3},
+		{"f1", experiments.Figure1},
+		{"f2", experiments.PowerSteering},
+		{"e5", experiments.DepTestStats},
+		{"e6", func() (string, error) { return experiments.SpeedupTable(workers, *repeats) }},
+		{"e7", func() (string, error) { return experiments.IncrementalTable([]int{5, 20, 60}) }},
+	}
+	failed := false
+	for _, e := range list {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		out, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pedreport %s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("========== %s ==========\n%s\n", e.id, out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Depbrowse: the dependence-navigation workflow on the arc3d
+// workload — browse the dependence pane with view filters, see why
+// analysis is blocked (a symbolic subscript term), assert the missing
+// fact as the paper's users did, and watch the dependence disappear.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parascope/internal/core"
+	"parascope/internal/view"
+	"parascope/internal/workloads"
+	"parascope/internal/xform"
+)
+
+func main() {
+	w := workloads.ByName("arc3d")
+	s, err := w.Session()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Navigate to the filter loop (loop 2: q(j) = q(j+jp)…).
+	if err := s.SelectLoop(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== the filter loop before any interaction ==")
+	fmt.Print(view.DepPane(s, core.DepFilter{CarriedOnly: true}))
+	fmt.Print(view.VarPane(s))
+
+	// The pane shows pending dependences blocked by the symbolic
+	// offset jp. Power steering refuses to parallelize:
+	do := s.SelectedLoop().Do
+	fmt.Printf("\npower steering says: %s\n", s.Check(xform.Parallelize{Do: do}))
+
+	// The user knows jp is the inter-plane stride and is at least the
+	// plane size. Assert it:
+	fmt.Println("\n== assert jp .ge. 500 ==")
+	if err := s.Assert("jp .ge. 500"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reanalysis removed the dependences:
+	if err := s.SelectLoop(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(view.DepPane(s, core.DepFilter{CarriedOnly: true}))
+	do = s.SelectedLoop().Do
+	v, err := s.Transform(xform.Parallelize{Do: do})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallelize: %s\n\n", v)
+
+	fmt.Println("== session transcript ==")
+	for _, h := range s.History {
+		fmt.Println(" ", h)
+	}
+}

@@ -1,0 +1,3 @@
+module parascope
+
+go 1.24

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func adviceFor(t *testing.T, src string, loopN int) []Suggestion {
+	t.Helper()
+	s := open(t, src)
+	if err := s.SelectLoop(loopN); err != nil {
+		t.Fatal(err)
+	}
+	return s.Advise()
+}
+
+func hasAction(sugs []Suggestion, substr string) bool {
+	for _, sg := range sugs {
+		if strings.Contains(sg.Action, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAdviseSymbolicAssertion(t *testing.T) {
+	sugs := adviceFor(t, `
+      program main
+      integer i, m
+      real a(500)
+      read(*,*) m
+      do i = 1, 100
+         a(i) = a(i + m)
+      enddo
+      end
+`, 1)
+	if !hasAction(sugs, "assert a bound on m") {
+		t.Errorf("suggestions = %v", sugs)
+	}
+}
+
+func TestAdviseIndexArray(t *testing.T) {
+	sugs := adviceFor(t, `
+      program main
+      integer i, idx(100)
+      real a(100)
+      do i = 1, 100
+         a(idx(i)) = a(idx(i)) + 1.0
+      enddo
+      end
+`, 1)
+	if !hasAction(sugs, "index array") {
+		t.Errorf("suggestions = %v", sugs)
+	}
+}
+
+func TestAdviseScalarExpansion(t *testing.T) {
+	sugs := adviceFor(t, `
+      program main
+      integer i
+      real t, a(100), b(100)
+      do i = 1, 100
+         t = a(i)
+         b(i) = t*2.0
+      enddo
+      print *, t
+      end
+`, 1)
+	if !hasAction(sugs, "expand scalar t") {
+		t.Errorf("suggestions = %v", sugs)
+	}
+}
+
+func TestAdviseDistribute(t *testing.T) {
+	sugs := adviceFor(t, `
+      program main
+      integer i
+      real a(100), acc(100), c(100)
+      do i = 2, 100
+         a(i) = c(i)*2.0
+         acc(i) = acc(i-1) + a(i)
+      enddo
+      end
+`, 1)
+	if !hasAction(sugs, "distribute") {
+		t.Errorf("suggestions = %v", sugs)
+	}
+}
+
+func TestAdviseInterchange(t *testing.T) {
+	sugs := adviceFor(t, `
+      program main
+      integer i, j
+      real a(100,100)
+      do j = 2, 100
+         do i = 1, 100
+            a(i,j) = a(i,j-1)*0.5
+         enddo
+      enddo
+      end
+`, 1)
+	if !hasAction(sugs, "interchange") {
+		t.Errorf("suggestions = %v", sugs)
+	}
+}
+
+func TestAdviseArrayPrivatization(t *testing.T) {
+	sugs := adviceFor(t, `
+      program main
+      integer k
+      real q(200), work(32)
+      do k = 1, 100
+         call sweep(work, q, k)
+      enddo
+      print *, q(80)
+      end
+      subroutine sweep(w, q, k)
+      integer k, i
+      real w(32), q(200)
+      do i = 1, 32
+         w(i) = real(i + k)*0.01
+      enddo
+      q(k + 64) = q(k + 64) + w(5)
+      end
+`, 1)
+	if !hasAction(sugs, "privatize work array work") {
+		t.Errorf("suggestions = %v", sugs)
+	}
+}
+
+func TestAdviseRealRecurrence(t *testing.T) {
+	sugs := adviceFor(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 2, 100
+         a(i) = a(i-1)*0.5 + 1.0
+      enddo
+      end
+`, 1)
+	if !hasAction(sugs, "leave the loop serial") {
+		t.Errorf("suggestions = %v", sugs)
+	}
+}
+
+func TestAdviseParallelReady(t *testing.T) {
+	sugs := adviceFor(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 1, 100
+         a(i) = 1.0
+      enddo
+      end
+`, 1)
+	if !hasAction(sugs, "parallelize the loop") {
+		t.Errorf("suggestions = %v", sugs)
+	}
+	if sugs[0].Transformation == nil {
+		t.Error("ready suggestion should carry the transformation")
+	}
+}
+
+func TestAdviseSuggestionApplies(t *testing.T) {
+	// The advisor's transformation must actually work when applied.
+	s := open(t, `
+      program main
+      integer i
+      real a(100), acc(100), c(100)
+      do i = 2, 100
+         a(i) = c(i)*2.0
+         acc(i) = acc(i-1) + a(i)
+      enddo
+      end
+`)
+	if err := s.SelectLoop(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, sg := range s.Advise() {
+		if sg.Transformation == nil {
+			continue
+		}
+		if _, err := s.Transform(sg.Transformation); err != nil {
+			t.Errorf("suggested %q but applying failed: %v", sg.Action, err)
+		}
+		break
+	}
+}

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"parascope/internal/core"
+	"parascope/internal/xform"
+)
+
+// Example shows the basic editor flow: open a program, inspect a
+// loop's dependences, and parallelize it.
+func Example() {
+	s, err := core.Open("demo.f", `
+      program demo
+      integer i
+      real a(100), b(100)
+      do i = 1, 100
+         a(i) = b(i)*2.0
+      enddo
+      end
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.SelectLoop(1); err != nil {
+		log.Fatal(err)
+	}
+	deps := s.SelectionDeps(core.DepFilter{CarriedOnly: true, HidePrivate: true})
+	fmt.Printf("blocking dependences: %d\n", len(deps))
+	v, err := s.Transform(xform.Parallelize{Do: s.SelectedLoop().Do})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("safe: %v, parallel loops: %d\n", v.Safe, len(s.ParallelLoops()))
+	// Output:
+	// blocking dependences: 0
+	// safe: true, parallel loops: 1
+}
+
+// ExampleSession_Assert shows assertion-driven sharpening: an unknown
+// offset blocks the loop until the user asserts its magnitude.
+func ExampleSession_Assert() {
+	s, err := core.Open("filter.f", `
+      program filter
+      integer i, m
+      real a(500)
+      read(*,*) m
+      do i = 1, 100
+         a(i) = a(i + m)
+      enddo
+      end
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.SelectLoop(1); err != nil {
+		log.Fatal(err)
+	}
+	before := s.Check(xform.Parallelize{Do: s.SelectedLoop().Do})
+	if err := s.Assert("m .ge. 500"); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.SelectLoop(1); err != nil {
+		log.Fatal(err)
+	}
+	after := s.Check(xform.Parallelize{Do: s.SelectedLoop().Do})
+	fmt.Printf("before assertion: safe=%v\n", before.Safe)
+	fmt.Printf("after assertion:  safe=%v\n", after.Safe)
+	// Output:
+	// before assertion: safe=false
+	// after assertion:  safe=true
+}
+
+// ExampleSession_Advise shows the transformation advisor on a loop
+// blocked by a symbolic subscript term.
+func ExampleSession_Advise() {
+	s, err := core.Open("adv.f", `
+      program adv
+      integer i, m
+      real a(500)
+      read(*,*) m
+      do i = 1, 100
+         a(i) = a(i + m)
+      enddo
+      end
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.SelectLoop(1); err != nil {
+		log.Fatal(err)
+	}
+	for _, sg := range s.Advise() {
+		fmt.Println(sg.Action)
+	}
+	// Output:
+	// assert a bound on m (e.g. `assert m .ge. <extent>`)
+}

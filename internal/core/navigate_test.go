@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"parascope/internal/dep"
+)
+
+func TestDepEndpointsIntoCallee(t *testing.T) {
+	s := open(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 1, 100
+         a(i) = a(i) + 1.0
+         call touch(a)
+      enddo
+      end
+      subroutine touch(x)
+      real x(100)
+      x(50) = x(50)*2.0
+      end
+`)
+	if err := s.SelectLoop(1); err != nil {
+		t.Fatal(err)
+	}
+	deps := s.SelectionDeps(DepFilter{CarriedOnly: true, Sym: "a"})
+	if len(deps) == 0 {
+		t.Fatal("expected carried deps through the call")
+	}
+	// Find a dep with a call endpoint.
+	var found bool
+	for _, d := range deps {
+		src, dst, err := s.DepEndpoints(d.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range []Endpoint{src, dst} {
+			if len(ep.CalleeRefs) > 0 {
+				found = true
+				cr := ep.CalleeRefs[0]
+				if cr.Unit.Name != "touch" {
+					t.Errorf("callee ref unit = %s", cr.Unit.Name)
+				}
+				if cr.Text == "" || cr.Line == 0 {
+					t.Errorf("callee ref incomplete: %+v", cr)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no endpoint resolved into the callee")
+	}
+}
+
+func TestDepEndpointsCommon(t *testing.T) {
+	s := open(t, `
+      program main
+      integer i
+      real g(100)
+      common /blk/ g
+      do i = 1, 100
+         g(i) = 1.0
+         call bump
+      enddo
+      end
+      subroutine bump
+      real g(100)
+      common /blk/ g
+      g(1) = g(1) + 1.0
+      end
+`)
+	if err := s.SelectLoop(1); err != nil {
+		t.Fatal(err)
+	}
+	deps := s.SelectionDeps(DepFilter{Sym: "g", CarriedOnly: true})
+	if len(deps) == 0 {
+		t.Fatal("expected deps on the common array")
+	}
+	anyCallee := false
+	for _, d := range deps {
+		src, dst, err := s.DepEndpoints(d.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(src.CalleeRefs)+len(dst.CalleeRefs) > 0 {
+			anyCallee = true
+		}
+	}
+	if !anyCallee {
+		t.Error("common-block endpoint not followed into bump")
+	}
+}
+
+func TestDepEndpointsBadID(t *testing.T) {
+	s := open(t, sessionSrc)
+	if _, _, err := s.DepEndpoints(99999); err == nil {
+		t.Error("bad id must error")
+	}
+	_ = dep.MarkPending
+}

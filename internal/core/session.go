@@ -1,0 +1,836 @@
+// Package core implements the ParaScope Editor itself: an
+// interactive session over a Fortran program that combines the
+// analyses (dependence, data-flow, interprocedural), the power-
+// steering transformations, dependence marking and filtering, user
+// assertions, variable classification, performance navigation,
+// editing with incremental reanalysis, and undo — the paper's
+// primary contribution.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parascope/internal/cfg"
+	"parascope/internal/dataflow"
+	"parascope/internal/dep"
+	"parascope/internal/expr"
+	"parascope/internal/fortran"
+	"parascope/internal/interproc"
+	"parascope/internal/perf"
+	"parascope/internal/xform"
+)
+
+// VarClass is the user-visible classification of a variable with
+// respect to the selected loop.
+type VarClass int
+
+// Variable classes shown in the variable pane.
+const (
+	ClassShared VarClass = iota
+	ClassPrivate
+	ClassReduction
+	ClassInduction
+)
+
+func (c VarClass) String() string {
+	switch c {
+	case ClassShared:
+		return "shared"
+	case ClassPrivate:
+		return "private"
+	case ClassReduction:
+		return "reduction"
+	case ClassInduction:
+		return "induction"
+	}
+	return "?"
+}
+
+// Assertion is one user-supplied fact about a variable's value,
+// sharpening dependence analysis ("assert n >= 100").
+type Assertion struct {
+	Var string
+	Rel string // ".eq.", ".ge.", ".le.", ".gt.", ".lt."
+	Val int64
+}
+
+func (a Assertion) String() string { return fmt.Sprintf("%s %s %d", a.Var, a.Rel, a.Val) }
+
+// depKey identifies a dependence stably across reanalysis so user
+// markings survive.
+type depKey struct {
+	sym     string
+	srcLine int
+	dstLine int
+	class   dep.Class
+	level   int
+}
+
+func keyOf(d *dep.Dependence) depKey {
+	return depKey{sym: d.Sym.Name, srcLine: d.Src.Line(), dstLine: d.Dst.Line(),
+		class: d.Class, level: d.Level}
+}
+
+// UnitState holds the per-unit analysis and interaction state.
+type UnitState struct {
+	Unit *fortran.Unit
+	DF   *dataflow.Analysis
+	Deps *dep.Graph
+	Est  *perf.UnitEstimate
+
+	marks      map[depKey]dep.Mark
+	assertions []Assertion
+	classes    map[string]VarClass // user overrides by name
+}
+
+// Session is one open ParaScope Editor.
+type Session struct {
+	File *fortran.File
+	Prog *interproc.Program
+	Opts dep.Options
+	// Conservative disables the interprocedural analyses (Mod/Ref,
+	// Kill, sections, constants), treating every call as touching
+	// everything — the ablation baseline of the analysis experiments.
+	Conservative bool
+
+	units   map[*fortran.Unit]*UnitState
+	current *fortran.Unit
+	// selected is the currently selected loop (its DO statement).
+	selected *fortran.DoStmt
+
+	est *perf.Estimator
+	// History logs user-level actions for the session transcript.
+	History []string
+
+	undoStack []string // printed sources
+	// Counters for the evaluation tables.
+	Stats SessionStats
+}
+
+// SessionStats counts user interactions, matching the actions the
+// paper's evaluation reports (deleted dependences, assertions,
+// reclassifications, transformations).
+type SessionStats struct {
+	DepsRejected      int
+	DepsAccepted      int
+	Assertions        int
+	Reclassifications int
+	Transformations   map[string]int
+	Edits             int
+	LoopsParallelized int
+}
+
+// Open parses src and builds a session with full analysis.
+func Open(path, src string) (*Session, error) {
+	f, err := fortran.Parse(path, src)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(f), nil
+}
+
+// NewSession builds a session over an already-parsed file.
+func NewSession(f *fortran.File) *Session {
+	s := &Session{
+		File:  f,
+		Opts:  dep.DefaultOptions(),
+		units: map[*fortran.Unit]*UnitState{},
+	}
+	s.Stats.Transformations = map[string]int{}
+	s.AnalyzeAll()
+	if main := f.Main(); main != nil {
+		s.current = main
+	} else if len(f.Units) > 0 {
+		s.current = f.Units[0]
+	}
+	return s
+}
+
+// AnalyzeAll (re)runs whole-program analysis: interprocedural
+// summaries, then per-unit data-flow, dependence and performance
+// analysis.
+func (s *Session) AnalyzeAll() {
+	s.File.RenumberStmts()
+	s.Prog = interproc.AnalyzeProgram(s.File)
+	s.est = perf.New(s.File, perf.DefaultParams())
+	old := s.units
+	s.units = map[*fortran.Unit]*UnitState{}
+	for _, u := range s.File.Units {
+		prev := old[u]
+		s.units[u] = s.analyzeUnit(u, prev)
+	}
+}
+
+// ReanalyzeUnit refreshes only one unit — the editor's incremental
+// path after a local edit (interprocedural facts are reused, not
+// recomputed).
+func (s *Session) ReanalyzeUnit(u *fortran.Unit) {
+	s.File.RenumberStmts()
+	s.units[u] = s.analyzeUnit(u, s.units[u])
+}
+
+func (s *Session) analyzeUnit(u *fortran.Unit, prev *UnitState) *UnitState {
+	st := &UnitState{Unit: u, marks: map[depKey]dep.Mark{}, classes: map[string]VarClass{}}
+	if prev != nil {
+		st.marks = prev.marks
+		st.assertions = prev.assertions
+		st.classes = prev.classes
+	}
+	var eff dataflow.SideEffects
+	var summ dep.Summaries
+	env := s.assertionEnv(u, st.assertions)
+	if s.Conservative {
+		eff = dataflow.ConservativeEffects{}
+	} else {
+		eff = &interproc.Effects{Prog: s.Prog}
+		summ = &interproc.SectionProvider{Prog: s.Prog}
+		if ce := s.Prog.ConstEnv(u); ce != nil {
+			if env == nil {
+				env = expr.NewEnv()
+			}
+			for _, sym := range ce.Symbols() {
+				env.SetRange(sym, ce.RangeOf(sym))
+			}
+		}
+	}
+	st.DF = dataflow.Analyze(u, eff)
+	st.Deps = dep.Analyze(st.DF, env, summ, s.Opts)
+	// Restore user markings.
+	for _, d := range st.Deps.Deps {
+		if m, ok := st.marks[keyOf(d)]; ok {
+			d.Mark = m
+		}
+	}
+	st.Est = s.est.EstimateUnit(st.DF)
+	return st
+}
+
+func (s *Session) assertionEnv(u *fortran.Unit, asserts []Assertion) *expr.Env {
+	if len(asserts) == 0 {
+		return nil
+	}
+	env := expr.NewEnv()
+	for _, a := range asserts {
+		sym := u.Lookup(a.Var)
+		if sym == nil {
+			continue
+		}
+		switch a.Rel {
+		case ".eq.":
+			env.SetValue(sym, a.Val)
+		case ".ge.":
+			env.SetRange(sym, expr.AtLeast(a.Val))
+		case ".gt.":
+			env.SetRange(sym, expr.AtLeast(a.Val+1))
+		case ".le.":
+			env.SetRange(sym, expr.AtMost(a.Val))
+		case ".lt.":
+			env.SetRange(sym, expr.AtMost(a.Val-1))
+		}
+	}
+	return env
+}
+
+func (s *Session) log(format string, args ...interface{}) {
+	s.History = append(s.History, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Selection and navigation
+
+// CurrentUnit returns the unit being edited.
+func (s *Session) CurrentUnit() *fortran.Unit { return s.current }
+
+// State returns the current unit's analysis state.
+func (s *Session) State() *UnitState { return s.units[s.current] }
+
+// StateOf returns a specific unit's analysis state.
+func (s *Session) StateOf(u *fortran.Unit) *UnitState { return s.units[u] }
+
+// SelectUnit switches the source pane to another program unit.
+func (s *Session) SelectUnit(name string) error {
+	u := s.File.Unit(strings.ToLower(name))
+	if u == nil {
+		return fmt.Errorf("no unit named %s", name)
+	}
+	s.current = u
+	s.selected = nil
+	s.log("select unit %s", name)
+	return nil
+}
+
+// Loops lists the current unit's loops in source order.
+func (s *Session) Loops() []*cfg.Loop {
+	return s.State().DF.Tree.All
+}
+
+// SelectLoop selects the nth loop (1-based, source order) of the
+// current unit for the dependence and variable panes.
+func (s *Session) SelectLoop(n int) error {
+	loops := s.Loops()
+	if n < 1 || n > len(loops) {
+		return fmt.Errorf("loop %d out of range (unit has %d)", n, len(loops))
+	}
+	s.selected = loops[n-1].Do
+	s.log("select loop %d (do %s, line %d)", n, s.selected.Var.Name, s.selected.Line())
+	return nil
+}
+
+// SelectedLoop returns the selected loop, or nil.
+func (s *Session) SelectedLoop() *cfg.Loop {
+	if s.selected == nil {
+		return nil
+	}
+	return s.State().DF.Tree.LoopOf(s.selected)
+}
+
+// NextByPerformance selects the most expensive not-yet-parallel loop,
+// the estimator-guided navigation the users requested.
+func (s *Session) NextByPerformance() (*cfg.Loop, bool) {
+	for _, le := range s.State().Est.Loops {
+		if !le.Loop.Do.Parallel {
+			s.selected = le.Loop.Do
+			s.log("navigate to do %s (line %d): %.0f%% of unit time",
+				le.Loop.Header().Name, le.Loop.Do.Line(), le.Fraction*100)
+			return le.Loop, true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Dependence pane
+
+// DepFilter selects which dependences the pane shows — Ped's view
+// filtering applied to the dependence list.
+type DepFilter struct {
+	// Classes limits to the given classes when non-empty.
+	Classes []dep.Class
+	// Sym limits to dependences on the named variable.
+	Sym string
+	// CarriedOnly hides loop-independent dependences.
+	CarriedOnly bool
+	// HideRejected hides dependences the user rejected.
+	HideRejected bool
+	// HidePrivate hides dependences on privatizable scalars and
+	// recognized reductions.
+	HidePrivate bool
+}
+
+// SelectionDeps returns the dependences of the selected loop after
+// filtering — the dependence pane contents.
+func (s *Session) SelectionDeps(f DepFilter) []*dep.Dependence {
+	l := s.SelectedLoop()
+	if l == nil {
+		return nil
+	}
+	st := s.State()
+	var out []*dep.Dependence
+	for _, d := range st.Deps.LoopDeps(l) {
+		if f.CarriedOnly && !d.Carried() {
+			continue
+		}
+		if f.HideRejected && d.Mark == dep.MarkRejected {
+			continue
+		}
+		if f.Sym != "" && d.Sym.Name != f.Sym {
+			continue
+		}
+		if len(f.Classes) > 0 {
+			ok := false
+			for _, c := range f.Classes {
+				if d.Class == c {
+					ok = true
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		if f.HidePrivate && s.classOf(l, d.Sym) != ClassShared {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MarkDep records the user's judgement on a dependence: accepted
+// confirms it, rejected removes it from safety decisions (dependence
+// deletion). Proven dependences cannot be rejected.
+func (s *Session) MarkDep(id int, m dep.Mark) error {
+	st := s.State()
+	d := st.Deps.DepByID(id)
+	if d == nil {
+		return fmt.Errorf("no dependence %d", id)
+	}
+	if d.Mark == dep.MarkProven && m == dep.MarkRejected {
+		return fmt.Errorf("dependence %d was proven by an exact test; it cannot be rejected", id)
+	}
+	d.Mark = m
+	st.marks[keyOf(d)] = m
+	switch m {
+	case dep.MarkRejected:
+		s.Stats.DepsRejected++
+	case dep.MarkAccepted:
+		s.Stats.DepsAccepted++
+	}
+	s.log("mark dependence %d (%s on %s) %s", id, d.Class, d.Sym.Name, m)
+	return nil
+}
+
+// Endpoint describes one end of a dependence for navigation. When
+// the endpoint is a call statement, CalleeRefs lists the statements
+// inside the callee that access the variable, so the user can follow
+// the dependence across the procedure boundary (the paper: "Ped must
+// be able to display other procedures while iterating over all the
+// endpoints corresponding to a dependence").
+type Endpoint struct {
+	Stmt fortran.Stmt
+	Line int
+	Text string
+	// CalleeRefs is non-empty when Stmt is a call whose side effects
+	// produced the dependence endpoint.
+	CalleeRefs []CalleeRef
+}
+
+// CalleeRef is one access inside a called procedure.
+type CalleeRef struct {
+	Unit *fortran.Unit
+	Stmt fortran.Stmt
+	Line int
+	Text string
+}
+
+// DepEndpoints resolves both ends of a dependence, following call
+// statements into their callees.
+func (s *Session) DepEndpoints(id int) (src, dst Endpoint, err error) {
+	st := s.State()
+	d := st.Deps.DepByID(id)
+	if d == nil {
+		return Endpoint{}, Endpoint{}, fmt.Errorf("no dependence %d", id)
+	}
+	return s.endpoint(d.Src, d.Sym), s.endpoint(d.Dst, d.Sym), nil
+}
+
+func (s *Session) endpoint(stmt fortran.Stmt, sym *fortran.Symbol) Endpoint {
+	ep := Endpoint{Stmt: stmt, Line: stmt.Line(), Text: fortran.StmtText(stmt)}
+	call, ok := stmt.(*fortran.CallStmt)
+	if !ok || call.Callee == nil {
+		return ep
+	}
+	// Map the caller-side symbol to the callee-side one: through the
+	// argument binding or a shared COMMON block.
+	callee := call.Callee
+	var target *fortran.Symbol
+	for i, formal := range callee.Args {
+		if i >= len(call.Args) {
+			break
+		}
+		if vr, ok := call.Args[i].(*fortran.VarRef); ok && vr.Sym == sym {
+			target = formal
+		}
+	}
+	if target == nil && sym.Common != "" {
+		if cs := callee.Lookup(sym.Name); cs != nil && cs.Common == sym.Common {
+			target = cs
+		}
+	}
+	if target == nil {
+		return ep
+	}
+	fortran.WalkStmts(callee.Body, func(x fortran.Stmt) bool {
+		refs := false
+		fortran.WalkExprs(x, func(e fortran.Expr) {
+			if vr, ok := e.(*fortran.VarRef); ok && vr.Sym == target {
+				refs = true
+			}
+		})
+		if as, ok := x.(*fortran.AssignStmt); ok && as.Lhs.Sym == target {
+			refs = true
+		}
+		if refs {
+			ep.CalleeRefs = append(ep.CalleeRefs, CalleeRef{
+				Unit: callee, Stmt: x, Line: x.Line(), Text: fortran.StmtText(x),
+			})
+		}
+		return true
+	})
+	return ep
+}
+
+// ---------------------------------------------------------------------------
+// Assertions and variable classification
+
+// Assert records a fact about an integer variable ("n .ge. 100") and
+// reanalyzes the unit with the sharpened environment.
+func (s *Session) Assert(text string) error {
+	a, err := parseAssertion(text)
+	if err != nil {
+		return err
+	}
+	u := s.current
+	if u.Lookup(a.Var) == nil {
+		return fmt.Errorf("no variable %s in %s", a.Var, u.Name)
+	}
+	st := s.State()
+	st.assertions = append(st.assertions, a)
+	s.Stats.Assertions++
+	s.log("assert %s", a)
+	s.ReanalyzeUnit(u)
+	return nil
+}
+
+func parseAssertion(text string) (Assertion, error) {
+	fields := strings.Fields(strings.ToLower(text))
+	if len(fields) != 3 {
+		return Assertion{}, fmt.Errorf("assertion must be `var .rel. value`, got %q", text)
+	}
+	rel := fields[1]
+	switch rel {
+	case ".eq.", ".ge.", ".le.", ".gt.", ".lt.":
+	case "=", "==":
+		rel = ".eq."
+	case ">=":
+		rel = ".ge."
+	case "<=":
+		rel = ".le."
+	case ">":
+		rel = ".gt."
+	case "<":
+		rel = ".lt."
+	default:
+		return Assertion{}, fmt.Errorf("unknown relation %q", rel)
+	}
+	var val int64
+	if _, err := fmt.Sscanf(fields[2], "%d", &val); err != nil {
+		return Assertion{}, fmt.Errorf("assertion value must be an integer: %v", err)
+	}
+	return Assertion{Var: fields[0], Rel: rel, Val: val}, nil
+}
+
+// Assertions lists the current unit's assertions.
+func (s *Session) Assertions() []Assertion { return s.State().assertions }
+
+// classOf computes the effective classification of a variable for a
+// loop: user override first, then automatic analysis.
+func (s *Session) classOf(l *cfg.Loop, sym *fortran.Symbol) VarClass {
+	st := s.State()
+	if c, ok := st.classes[sym.Name]; ok {
+		return c
+	}
+	if sym == l.Do.Var {
+		return ClassInduction
+	}
+	for _, r := range st.DF.Reductions(l) {
+		if r.Sym == sym {
+			return ClassReduction
+		}
+	}
+	if sym.Kind == fortran.SymScalar {
+		if res := st.DF.Privatizable(l, sym); res.Privatizable && !res.NeedsLastValue {
+			return ClassPrivate
+		}
+	}
+	return ClassShared
+}
+
+// Classify overrides a variable's classification for parallelization
+// (the user "reclassification" action from the evaluation).
+func (s *Session) Classify(varName string, c VarClass) error {
+	sym := s.current.Lookup(strings.ToLower(varName))
+	if sym == nil {
+		return fmt.Errorf("no variable %s", varName)
+	}
+	s.State().classes[sym.Name] = c
+	s.Stats.Reclassifications++
+	s.log("classify %s %s", sym.Name, c)
+	return nil
+}
+
+// VarInfo is one row of the variable pane.
+type VarInfo struct {
+	Sym          *fortran.Symbol
+	Class        VarClass
+	Privatizable bool
+	PrivReason   string
+	LiveOut      bool
+	DepCount     int
+}
+
+// VariablePane summarizes every variable accessed in the selected
+// loop.
+func (s *Session) VariablePane() []VarInfo {
+	l := s.SelectedLoop()
+	if l == nil {
+		return nil
+	}
+	st := s.State()
+	seen := map[*fortran.Symbol]bool{}
+	var syms []*fortran.Symbol
+	for _, stmt := range l.Stmts() {
+		for _, ac := range st.DF.Accesses(stmt) {
+			if !seen[ac.Sym] {
+				seen[ac.Sym] = true
+				syms = append(syms, ac.Sym)
+			}
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+	depCount := map[*fortran.Symbol]int{}
+	for _, d := range st.Deps.LoopDeps(l) {
+		depCount[d.Sym]++
+	}
+	var out []VarInfo
+	for _, sym := range syms {
+		info := VarInfo{Sym: sym, Class: s.classOf(l, sym), DepCount: depCount[sym]}
+		if sym.Kind == fortran.SymScalar {
+			res := st.DF.Privatizable(l, sym)
+			info.Privatizable = res.Privatizable
+			info.PrivReason = res.Reason
+			info.LiveOut = st.DF.LiveOutOfLoop(l, sym)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Transformations (power steering)
+
+// Check diagnoses a transformation without applying it.
+func (s *Session) Check(t xform.Transformation) xform.Verdict {
+	return t.Check(s.xformContext())
+}
+
+// Transform checks and applies a transformation, reanalyzing and
+// recording undo state. Rejected dependences stay out of the safety
+// decision (the user has overruled the analysis).
+func (s *Session) Transform(t xform.Transformation) (xform.Verdict, error) {
+	ctx := s.xformContext()
+	v := t.Check(ctx)
+	if !v.OK() {
+		return v, fmt.Errorf("%s: %s", t.Name(), v)
+	}
+	s.pushUndo()
+	if err := t.Apply(ctx); err != nil {
+		s.undoStack = s.undoStack[:len(s.undoStack)-1]
+		return v, err
+	}
+	s.Stats.Transformations[t.Name()]++
+	if t.Name() == "parallelize" {
+		s.Stats.LoopsParallelized++
+	}
+	s.log("apply %s: %s", t.Name(), v)
+	s.ReanalyzeUnit(s.current)
+	return v, nil
+}
+
+func (s *Session) xformContext() *xform.Context {
+	st := s.State()
+	ctx := &xform.Context{
+		File: s.File, Unit: s.current,
+		DF: st.DF, Deps: st.Deps,
+		Assertions: s.assertionEnv(s.current, st.assertions),
+		Opts:       s.Opts,
+	}
+	if s.Conservative {
+		ctx.Effects = dataflow.ConservativeEffects{}
+	} else {
+		ctx.Effects = &interproc.Effects{Prog: s.Prog}
+		ctx.Summaries = &interproc.SectionProvider{Prog: s.Prog}
+	}
+	return ctx
+}
+
+// ---------------------------------------------------------------------------
+// Editing
+
+// EditStmt replaces the statement with the given ID by newly parsed
+// text (which may be a whole block), then incrementally reanalyzes
+// the containing unit.
+func (s *Session) EditStmt(id int, text string) error {
+	old := s.File.StmtByID(id)
+	if old == nil {
+		return fmt.Errorf("no statement %d", id)
+	}
+	ns, err := fortran.ParseStmtIn(s.File, s.current, text)
+	if err != nil {
+		return fmt.Errorf("parse error: %v", err)
+	}
+	s.pushUndo()
+	if !replaceStmtIn(s.current, old, ns) {
+		s.undoStack = s.undoStack[:len(s.undoStack)-1]
+		return fmt.Errorf("statement %d is not in unit %s", id, s.current.Name)
+	}
+	s.Stats.Edits++
+	s.log("edit stmt %d: %s", id, strings.TrimSpace(text))
+	s.ReanalyzeUnit(s.current)
+	return nil
+}
+
+// DeleteStmt removes a statement.
+func (s *Session) DeleteStmt(id int) error {
+	old := s.File.StmtByID(id)
+	if old == nil {
+		return fmt.Errorf("no statement %d", id)
+	}
+	s.pushUndo()
+	if !deleteStmtIn(s.current, old) {
+		s.undoStack = s.undoStack[:len(s.undoStack)-1]
+		return fmt.Errorf("statement %d is not in unit %s", id, s.current.Name)
+	}
+	s.Stats.Edits++
+	s.log("delete stmt %d", id)
+	s.ReanalyzeUnit(s.current)
+	return nil
+}
+
+func replaceStmtIn(u *fortran.Unit, old, repl fortran.Stmt) bool {
+	var walk func(body []fortran.Stmt) bool
+	walk = func(body []fortran.Stmt) bool {
+		for i, x := range body {
+			if x == old {
+				body[i] = repl
+				return true
+			}
+			switch st := x.(type) {
+			case *fortran.IfStmt:
+				if walk(st.Then) || walk(st.Else) {
+					return true
+				}
+			case *fortran.DoStmt:
+				if walk(st.Body) {
+					return true
+				}
+			case *fortran.WhileStmt:
+				if walk(st.Body) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(u.Body)
+}
+
+func deleteStmtIn(u *fortran.Unit, old fortran.Stmt) bool {
+	var walk func(body []fortran.Stmt) ([]fortran.Stmt, bool)
+	walk = func(body []fortran.Stmt) ([]fortran.Stmt, bool) {
+		for i, x := range body {
+			if x == old {
+				return append(body[:i:i], body[i+1:]...), true
+			}
+			switch st := x.(type) {
+			case *fortran.IfStmt:
+				if nb, ok := walk(st.Then); ok {
+					st.Then = nb
+					return body, true
+				}
+				if nb, ok := walk(st.Else); ok {
+					st.Else = nb
+					return body, true
+				}
+			case *fortran.DoStmt:
+				if nb, ok := walk(st.Body); ok {
+					st.Body = nb
+					return body, true
+				}
+			case *fortran.WhileStmt:
+				if nb, ok := walk(st.Body); ok {
+					st.Body = nb
+					return body, true
+				}
+			}
+		}
+		return body, false
+	}
+	nb, ok := walk(u.Body)
+	if ok {
+		u.Body = nb
+	}
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Undo and persistence
+
+func (s *Session) pushUndo() {
+	s.undoStack = append(s.undoStack, fortran.Print(s.File))
+}
+
+// Undo restores the program to its state before the last
+// transformation or edit. Analysis state is rebuilt; user marks keyed
+// by line numbers survive where lines still match.
+func (s *Session) Undo() error {
+	if len(s.undoStack) == 0 {
+		return fmt.Errorf("nothing to undo")
+	}
+	src := s.undoStack[len(s.undoStack)-1]
+	s.undoStack = s.undoStack[:len(s.undoStack)-1]
+	f, err := fortran.Parse(s.File.Path, src)
+	if err != nil {
+		return fmt.Errorf("undo reparse failed: %v", err)
+	}
+	curName := ""
+	if s.current != nil {
+		curName = s.current.Name
+	}
+	s.File = f
+	s.selected = nil
+	s.AnalyzeAll()
+	if u := f.Unit(curName); u != nil {
+		s.current = u
+	} else if main := f.Main(); main != nil {
+		s.current = main
+	}
+	s.log("undo")
+	return nil
+}
+
+// Save returns the current program text.
+func (s *Session) Save() string { return fortran.Print(s.File) }
+
+// ---------------------------------------------------------------------------
+// Parallelization driver (used by scripted sessions and the report)
+
+// AutoParallelize attempts to parallelize every loop of the current
+// unit outermost-first (an outer DOALL subsumes its children),
+// returning how many loops were marked parallel.
+func (s *Session) AutoParallelize() int {
+	count := 0
+	var tryLoops func(loops []*cfg.Loop)
+	tryLoops = func(loops []*cfg.Loop) {
+		for _, l := range loops {
+			tr := xform.Parallelize{Do: l.Do}
+			if s.Check(tr).OK() {
+				if _, err := s.Transform(tr); err == nil {
+					count++
+					continue // children run inside the parallel loop
+				}
+			}
+			// Re-find children after any reanalysis.
+			cur := s.State().DF.Tree.LoopOf(l.Do)
+			if cur != nil {
+				tryLoops(cur.Children)
+			}
+		}
+	}
+	tryLoops(s.State().DF.Tree.Roots)
+	return count
+}
+
+// ParallelLoops lists the current unit's loops marked parallel.
+func (s *Session) ParallelLoops() []*fortran.DoStmt {
+	var out []*fortran.DoStmt
+	fortran.WalkStmts(s.current.Body, func(st fortran.Stmt) bool {
+		if do, ok := st.(*fortran.DoStmt); ok && do.Parallel {
+			out = append(out, do)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+package dep
+
+import (
+	"testing"
+
+	"parascope/internal/dataflow"
+	"parascope/internal/fortran"
+)
+
+// TestRangeTestsAblation verifies the design choice DESIGN.md calls
+// out: the range-based (Banerjee/bounds) tier disproves dependences
+// the exact divisibility tests cannot, so disabling it must only add
+// dependences, never remove any.
+func TestRangeTestsAblation(t *testing.T) {
+	src := `
+      program main
+      integer i, j
+      real a(500), m(60,60)
+      do i = 1, 100
+         a(i) = a(i + 200)
+      enddo
+      do i = 1, 50
+         do j = 1, 50
+            m(i,j) = m(i,j) + 1.0
+         enddo
+      enddo
+      do i = 1, 100
+         a(i) = a(400 - i)
+      enddo
+      end
+`
+	f := fortran.MustParse("t.f", src)
+	df := dataflow.Analyze(f.Units[0], nil)
+
+	with := Analyze(df, nil, nil, DefaultOptions())
+	opts := DefaultOptions()
+	opts.UseRanges = false
+	without := Analyze(df, nil, nil, opts)
+
+	countCarried := func(g *Graph) int {
+		n := 0
+		for _, d := range g.Deps {
+			if d.Carried() && d.Class != ClassControl && d.Class != ClassInput {
+				n++
+			}
+		}
+		return n
+	}
+	cw, cwo := countCarried(with), countCarried(without)
+	if cw >= cwo {
+		t.Errorf("range tests should remove carried deps: with=%d without=%d", cw, cwo)
+	}
+	// Soundness direction: every dep found with ranges on must also
+	// exist (same endpoints/class/level) with ranges off.
+	key := func(d *Dependence) [4]int {
+		return [4]int{d.Src.ID(), d.Dst.ID(), int(d.Class), d.Level}
+	}
+	have := map[[4]int]bool{}
+	for _, d := range without.Deps {
+		have[key(d)] = true
+	}
+	for _, d := range with.Deps {
+		if d.Class == ClassControl {
+			continue
+		}
+		if !have[key(d)] {
+			t.Errorf("dep present with ranges but absent without: %v", d)
+		}
+	}
+}
+
+// TestConstantsAblation: constant propagation into subscripts is what
+// lets the range tests bound symbolic loop limits.
+func TestConstantsAblation(t *testing.T) {
+	src := `
+      program main
+      integer i, n
+      real a(500)
+      n = 100
+      do i = 1, n
+         a(i) = a(i + 200)
+      enddo
+      end
+`
+	f := fortran.MustParse("t.f", src)
+	df := dataflow.Analyze(f.Units[0], nil)
+	l := df.Tree.All[0]
+
+	with := Analyze(df, nil, nil, DefaultOptions())
+	opts := DefaultOptions()
+	opts.UseConstants = false
+	without := Analyze(df, nil, nil, opts)
+
+	if n := len(with.CarriedAt(l)); n != 0 {
+		t.Errorf("with constants: loop should be clean, got %d deps", n)
+	}
+	foundBlocked := false
+	for _, d := range without.CarriedAt(l) {
+		if d.Sym.Name == "a" {
+			foundBlocked = true
+		}
+	}
+	if !foundBlocked {
+		t.Error("without constants, n stays symbolic and the dep must be assumed")
+	}
+}

@@ -1,0 +1,227 @@
+// Package dep implements ParaScope's dependence analysis: a
+// hierarchical suite of subscript tests (ZIV, strong/weak-zero/
+// weak-crossing/exact SIV, GCD, Banerjee, delta-style combination)
+// applied to pairs of references in loop nests, producing a
+// dependence graph with direction/distance vectors, carrier levels,
+// and the proven/pending/accepted/rejected marking state the editor
+// exposes to users.
+package dep
+
+import (
+	"fmt"
+	"strings"
+
+	"parascope/internal/cfg"
+	"parascope/internal/fortran"
+)
+
+// Class is the kind of a dependence.
+type Class int
+
+// Dependence classes.
+const (
+	ClassFlow   Class = iota // true dependence: write then read
+	ClassAnti                // read then write
+	ClassOutput              // write then write
+	ClassInput               // read then read (displayed only)
+	ClassControl
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassFlow:
+		return "true"
+	case ClassAnti:
+		return "anti"
+	case ClassOutput:
+		return "output"
+	case ClassInput:
+		return "input"
+	case ClassControl:
+		return "control"
+	}
+	return "?"
+}
+
+// Direction is a dependence direction for one loop level, relating
+// the source iteration to the sink iteration.
+type Direction int
+
+// Directions.
+const (
+	DirLt   Direction = iota // <  : source iteration earlier
+	DirEq                    // =
+	DirGt                    // >
+	DirStar                  // *  : unknown
+	DirLe                    // <=
+	DirGe                    // >=
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirLt:
+		return "<"
+	case DirEq:
+		return "="
+	case DirGt:
+		return ">"
+	case DirStar:
+		return "*"
+	case DirLe:
+		return "<="
+	case DirGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Mark is the editor's dependence-marking state: Ped marks each
+// dependence proven (an exact test proved it exists), pending (could
+// not be disproven), or — after user interaction — accepted/rejected.
+type Mark int
+
+// Marking states.
+const (
+	MarkProven Mark = iota
+	MarkPending
+	MarkAccepted
+	MarkRejected
+)
+
+func (m Mark) String() string {
+	switch m {
+	case MarkProven:
+		return "proven"
+	case MarkPending:
+		return "pending"
+	case MarkAccepted:
+		return "accepted"
+	case MarkRejected:
+		return "rejected"
+	}
+	return "?"
+}
+
+// Dependence is one edge of the dependence graph.
+type Dependence struct {
+	ID  int
+	Sym *fortran.Symbol
+
+	Src, Dst       fortran.Stmt
+	SrcRef, DstRef *fortran.VarRef // nil for call side effects and scalars without refs
+
+	Class Class
+	// Loop is the carrying loop; nil for loop-independent deps.
+	Loop *cfg.Loop
+	// Level is the 1-based carrier depth; 0 for loop-independent.
+	Level int
+	// Dirs holds one direction per common loop, outermost first.
+	Dirs []Direction
+	// Dist holds the dependence distance per common loop where
+	// known; Known flags validity.
+	Dist  []int64
+	Known []bool
+
+	Mark Mark
+	// Test names the subscript test that decided this dependence
+	// ("strong-siv", "banerjee", ... or "scalar"/"call").
+	Test string
+	// Reason holds a one-line explanation for the dependence pane.
+	Reason string
+	// Blockers names the symbolic terms that prevented disproof when
+	// Reason is "symbolic" — the variables an assertion should bound.
+	Blockers []string
+}
+
+// Carried reports whether the dependence is loop carried.
+func (d *Dependence) Carried() bool { return d.Level > 0 }
+
+// DirString formats the direction vector, e.g. "(<,=)".
+func (d *Dependence) DirString() string {
+	if len(d.Dirs) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(d.Dirs))
+	for i, dir := range d.Dirs {
+		if d.Known != nil && i < len(d.Known) && d.Known[i] {
+			parts[i] = fmt.Sprintf("%d", d.Dist[i])
+		} else {
+			parts[i] = dir.String()
+		}
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func (d *Dependence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s dep on %s %s", d.Class, d.Sym.Name, d.DirString())
+	if d.Level > 0 {
+		fmt.Fprintf(&b, " carried at level %d", d.Level)
+	} else {
+		b.WriteString(" loop independent")
+	}
+	return b.String()
+}
+
+// Graph is the dependence graph of one program unit.
+type Graph struct {
+	Unit *fortran.Unit
+	Deps []*Dependence
+	// Stats records per-test pair counts for the effectiveness table.
+	Stats Stats
+
+	byLoop map[*cfg.Loop][]*Dependence
+}
+
+// Stats counts how the hierarchical test suite performed.
+type Stats struct {
+	PairsTested int
+	// Applied counts applications per test name; Disproved counts
+	// pairs proven independent per test name; Proven counts pairs an
+	// exact test proved dependent.
+	Applied   map[string]int
+	Disproved map[string]int
+	Proven    map[string]int
+}
+
+func newStats() Stats {
+	return Stats{Applied: map[string]int{}, Disproved: map[string]int{}, Proven: map[string]int{}}
+}
+
+func (s *Stats) merge(name string, outcome testOutcome) {
+	s.Applied[name]++
+	switch outcome {
+	case outcomeIndependent:
+		s.Disproved[name]++
+	case outcomeProven:
+		s.Proven[name]++
+	}
+}
+
+// LoopDeps returns all dependences carried by or contained in loop l
+// (every dep whose endpoints both lie in l's body), the list Ped's
+// dependence pane shows when the user selects a loop.
+func (g *Graph) LoopDeps(l *cfg.Loop) []*Dependence {
+	return g.byLoop[l]
+}
+
+// CarriedAt returns the dependences carried exactly at loop l's level.
+func (g *Graph) CarriedAt(l *cfg.Loop) []*Dependence {
+	var out []*Dependence
+	for _, d := range g.byLoop[l] {
+		if d.Loop == l {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DepByID returns the dependence with the given ID, or nil.
+func (g *Graph) DepByID(id int) *Dependence {
+	for _, d := range g.Deps {
+		if d.ID == id {
+			return d
+		}
+	}
+	return nil
+}

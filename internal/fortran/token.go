@@ -1,0 +1,148 @@
+// Package fortran implements a Fortran 77 front end: lexer, parser,
+// abstract syntax tree, semantic analysis and pretty-printer for the
+// dialect used by the ParaScope Editor workloads.
+//
+// The front end accepts both classic fixed-form layout (comment in
+// column 1, statement label in columns 1-5, continuation in column 6)
+// and a relaxed free-form layout ('!' comments, '&' continuations).
+// Keywords and identifiers are case-insensitive; identifiers are
+// normalized to lower case.
+package fortran
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds. Keywords are distinguished from identifiers during
+// parsing (Fortran has no reserved words), so the lexer only emits
+// TokIdent for alphabetic words.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIdent  // identifiers and keywords
+	TokInt    // 123
+	TokReal   // 1.5, 1e-3, 2.5d0
+	TokString // 'text'
+	TokLabel  // statement label (fixed-form columns 1-5)
+	TokLParen // (
+	TokRParen // )
+	TokComma  // ,
+	TokPlus   // +
+	TokMinus  // -
+	TokStar   // *
+	TokSlash  // /
+	TokPower  // **
+	TokEq     // =
+	TokColon  // :
+	TokLt     // .lt. or <
+	TokLe     // .le. or <=
+	TokGt     // .gt. or >
+	TokGe     // .ge. or >=
+	TokEqEq   // .eq. or ==
+	TokNe     // .ne. or /=
+	TokAnd    // .and.
+	TokOr     // .or.
+	TokNot    // .not.
+	TokTrue   // .true.
+	TokFalse  // .false.
+	TokConcat // //
+	TokDollar // $ (directive sigil)
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF:     "end of file",
+	TokNewline: "end of statement",
+	TokIdent:   "identifier",
+	TokInt:     "integer literal",
+	TokReal:    "real literal",
+	TokString:  "string literal",
+	TokLabel:   "statement label",
+	TokLParen:  "'('",
+	TokRParen:  "')'",
+	TokComma:   "','",
+	TokPlus:    "'+'",
+	TokMinus:   "'-'",
+	TokStar:    "'*'",
+	TokSlash:   "'/'",
+	TokPower:   "'**'",
+	TokEq:      "'='",
+	TokColon:   "':'",
+	TokLt:      "'.lt.'",
+	TokLe:      "'.le.'",
+	TokGt:      "'.gt.'",
+	TokGe:      "'.ge.'",
+	TokEqEq:    "'.eq.'",
+	TokNe:      "'.ne.'",
+	TokAnd:     "'.and.'",
+	TokOr:      "'.or.'",
+	TokNot:     "'.not.'",
+	TokTrue:    "'.true.'",
+	TokFalse:   "'.false.'",
+	TokConcat:  "'//'",
+	TokDollar:  "'$'",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // normalized text (identifiers lower-cased)
+	Line int    // 1-based source line
+	Col  int    // 1-based source column
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Pos identifies a source location.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a lexical, syntactic or semantic error with a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects front-end errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Err returns the list as an error, or nil when empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+func (l *ErrorList) add(pos Pos, format string, args ...interface{}) {
+	*l = append(*l, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,147 @@
+// Package interp executes parsed Fortran programs. It provides the
+// execution substrate the original ParaScope work ran on shared-
+// memory multiprocessors: sequential semantics for validation, and a
+// goroutine-backed parallel executor for loops the editor marked
+// DOALL, with private variables and reductions. The interpreter is
+// used both to check that transformations preserve program meaning
+// and to measure parallel speedups for the evaluation harness.
+package interp
+
+import (
+	"fmt"
+
+	"parascope/internal/fortran"
+)
+
+// Value is one scalar runtime value.
+type Value struct {
+	Type fortran.Type
+	I    int64
+	R    float64
+	B    bool
+	S    string
+}
+
+// IntVal makes an integer value.
+func IntVal(v int64) Value { return Value{Type: fortran.TypeInteger, I: v} }
+
+// RealVal makes a real value.
+func RealVal(v float64) Value { return Value{Type: fortran.TypeReal, R: v} }
+
+// DoubleVal makes a double-precision value.
+func DoubleVal(v float64) Value { return Value{Type: fortran.TypeDouble, R: v} }
+
+// LogVal makes a logical value.
+func LogVal(v bool) Value { return Value{Type: fortran.TypeLogical, B: v} }
+
+// Float returns the value as float64.
+func (v Value) Float() float64 {
+	if v.Type == fortran.TypeInteger {
+		return float64(v.I)
+	}
+	return v.R
+}
+
+// Int returns the value as int64 (reals truncate, as in Fortran
+// assignment to INTEGER).
+func (v Value) Int() int64 {
+	if v.Type == fortran.TypeInteger {
+		return v.I
+	}
+	return int64(v.R)
+}
+
+// Bool returns the logical value.
+func (v Value) Bool() bool { return v.B }
+
+func (v Value) String() string {
+	switch v.Type {
+	case fortran.TypeInteger:
+		return fmt.Sprintf("%d", v.I)
+	case fortran.TypeLogical:
+		if v.B {
+			return "T"
+		}
+		return "F"
+	case fortran.TypeCharacter:
+		return v.S
+	default:
+		return trimFloat(v.R)
+	}
+}
+
+// trimFloat prints reals the way list-directed Fortran output roughly
+// does: a compact, locale-free decimal form.
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+// convert coerces a value to the target type, following Fortran
+// assignment conversion rules.
+func convert(v Value, t fortran.Type) Value {
+	if v.Type == t || t == fortran.TypeUnknown {
+		return v
+	}
+	switch t {
+	case fortran.TypeInteger:
+		return IntVal(v.Int())
+	case fortran.TypeReal:
+		return Value{Type: fortran.TypeReal, R: v.Float()}
+	case fortran.TypeDouble:
+		return Value{Type: fortran.TypeDouble, R: v.Float()}
+	case fortran.TypeLogical:
+		return LogVal(v.B)
+	case fortran.TypeCharacter:
+		return Value{Type: fortran.TypeCharacter, S: v.S}
+	}
+	return v
+}
+
+// cell is one storage location (scalar). Sharing cells implements
+// Fortran's by-reference argument passing.
+type cell struct {
+	v Value
+}
+
+// array is the storage of one array variable.
+type array struct {
+	sym  *fortran.Symbol
+	lo   []int64 // per-dim lower bound
+	ext  []int64 // per-dim extent
+	data []Value
+}
+
+func (a *array) size() int64 {
+	n := int64(1)
+	for _, e := range a.ext {
+		n *= e
+	}
+	return n
+}
+
+// index computes the column-major linear offset of the subscripts.
+func (a *array) index(subs []int64) (int64, error) {
+	if len(subs) != len(a.ext) {
+		// Fortran allows linearized access to multi-d arrays through
+		// a single subscript in some legacy code; support 1-sub form.
+		if len(subs) == 1 {
+			off := subs[0] - a.lo[0]
+			if off < 0 || off >= a.size() {
+				return 0, fmt.Errorf("subscript %d out of bounds for %s", subs[0], a.sym.Name)
+			}
+			return off, nil
+		}
+		return 0, fmt.Errorf("%s: %d subscripts for %d dims", a.sym.Name, len(subs), len(a.ext))
+	}
+	var off, stride int64 = 0, 1
+	for d := 0; d < len(subs); d++ {
+		i := subs[d] - a.lo[d]
+		if i < 0 || i >= a.ext[d] {
+			return 0, fmt.Errorf("%s: subscript %d (dim %d) out of bounds [%d,%d]",
+				a.sym.Name, subs[d], d+1, a.lo[d], a.lo[d]+a.ext[d]-1)
+		}
+		off += i * stride
+		stride *= a.ext[d]
+	}
+	return off, nil
+}

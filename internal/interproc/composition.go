@@ -1,0 +1,141 @@
+package interproc
+
+import (
+	"fmt"
+
+	"parascope/internal/fortran"
+)
+
+// Mismatch is one disagreement between a call site and the callee's
+// declaration — the checks of ParaScope's Composition Editor ("the
+// Composition Editor compares a procedure definition to calls
+// invoking it, ensuring the parameter lists agree in number and type.
+// These types of errors exist in production codes because most
+// compilers do not perform cross-procedure comparisons").
+type Mismatch struct {
+	Site   *CallSite
+	Kind   string // "arg-count", "arg-type", "arg-shape", "return-type"
+	Detail string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("line %d: call to %s: %s: %s",
+		m.Site.Stmt.Line(), m.Site.Callee.Name, m.Kind, m.Detail)
+}
+
+// CheckComposition verifies every resolved call site against its
+// callee: argument counts, scalar/array shape agreement, and type
+// agreement (integer/real/double/logical/character categories).
+func (p *Program) CheckComposition() []Mismatch {
+	var out []Mismatch
+	for _, site := range p.Graph.Sites {
+		out = append(out, checkSite(site)...)
+	}
+	return out
+}
+
+func checkSite(site *CallSite) []Mismatch {
+	var out []Mismatch
+	callee := site.Callee
+	args := site.Args()
+	add := func(kind, format string, a ...interface{}) {
+		out = append(out, Mismatch{Site: site, Kind: kind, Detail: fmt.Sprintf(format, a...)})
+	}
+	if len(args) != len(callee.Args) {
+		add("arg-count", "%d actuals for %d formals", len(args), len(callee.Args))
+	}
+	n := len(args)
+	if len(callee.Args) < n {
+		n = len(callee.Args)
+	}
+	for i := 0; i < n; i++ {
+		formal := callee.Args[i]
+		actual := args[i]
+		at, ashape := actualTypeShape(site.Caller, actual)
+		if at == fortran.TypeUnknown {
+			continue
+		}
+		if !typesCompatible(at, formal.Type) {
+			add("arg-type", "argument %d (%s): passing %s where %s %s expected",
+				i+1, formal.Name, at, formal.Type, formal.Kind)
+		}
+		switch {
+		case ashape == shapeArray && formal.Kind == fortran.SymScalar:
+			add("arg-shape", "argument %d (%s): whole array passed to a scalar formal", i+1, formal.Name)
+		case ashape == shapeScalar && formal.Kind == fortran.SymArray:
+			add("arg-shape", "argument %d (%s): scalar passed to an array formal", i+1, formal.Name)
+		}
+	}
+	// Function result type: the invoking expression assumes the
+	// implicit or declared type at the call site.
+	if site.Fn != nil && callee.Kind == fortran.UnitFunction {
+		want := callee.RetType
+		if want == fortran.TypeUnknown {
+			want = fortran.TypeReal
+			if n := callee.Name; n != "" && n[0] >= 'i' && n[0] <= 'n' {
+				want = fortran.TypeInteger
+			}
+		}
+		got := fortran.ExprType(site.Caller, site.Fn)
+		if !typesCompatible(got, want) {
+			add("return-type", "caller treats result as %s, function returns %s", got, want)
+		}
+	}
+	return out
+}
+
+type shape int
+
+const (
+	shapeUnknown shape = iota
+	shapeScalar
+	shapeArray
+	shapeExpr
+)
+
+// actualTypeShape classifies an actual argument.
+func actualTypeShape(caller *fortran.Unit, e fortran.Expr) (fortran.Type, shape) {
+	switch x := e.(type) {
+	case *fortran.VarRef:
+		if x.Sym == nil {
+			return fortran.TypeUnknown, shapeUnknown
+		}
+		t := x.Sym.Type
+		switch {
+		case x.Sym.IsArray() && len(x.Subs) == 0:
+			return t, shapeArray
+		case x.Sym.IsArray():
+			// Array element: sequence association makes it legal for
+			// both scalar and array formals.
+			return t, shapeUnknown
+		default:
+			return t, shapeScalar
+		}
+	default:
+		return fortran.ExprType(caller, e), shapeExpr
+	}
+}
+
+// typesCompatible groups types into the categories that must agree
+// for by-reference argument passing.
+func typesCompatible(a, b fortran.Type) bool {
+	if a == fortran.TypeUnknown || b == fortran.TypeUnknown {
+		return true
+	}
+	cat := func(t fortran.Type) int {
+		switch t {
+		case fortran.TypeInteger:
+			return 1
+		case fortran.TypeReal:
+			return 2
+		case fortran.TypeDouble:
+			return 3
+		case fortran.TypeLogical:
+			return 4
+		case fortran.TypeCharacter:
+			return 5
+		}
+		return 0
+	}
+	return cat(a) == cat(b)
+}

@@ -1,0 +1,546 @@
+// Package repl implements the text-mode command interface of the
+// ParaScope Editor: the interactive surface cmd/ped exposes. Every
+// command operates on a core.Session and writes its result to the
+// attached writer, so scripted sessions and tests can drive the
+// editor exactly as a user would.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"parascope/internal/core"
+	"parascope/internal/dep"
+	"parascope/internal/fortran"
+	"parascope/internal/interp"
+	"parascope/internal/perf"
+	"parascope/internal/view"
+	"parascope/internal/workloads"
+	"parascope/internal/xform"
+)
+
+// REPL is one interactive editor instance.
+type REPL struct {
+	Session *core.Session
+	Out     io.Writer
+	// Done is set by the quit command.
+	Done bool
+}
+
+// New creates a REPL over an open session.
+func New(s *core.Session, out io.Writer) *REPL {
+	return &REPL{Session: s, Out: out}
+}
+
+// Run processes commands from r until EOF or quit.
+func (r *REPL) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	for !r.Done && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := r.Execute(line); err != nil {
+			fmt.Fprintf(r.Out, "error: %v\n", err)
+		}
+	}
+	return sc.Err()
+}
+
+// Execute runs one command line.
+func (r *REPL) Execute(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	s := r.Session
+	switch cmd {
+	case "help":
+		fmt.Fprint(r.Out, helpText)
+	case "quit", "exit":
+		r.Done = true
+	case "units":
+		for _, u := range s.File.Units {
+			marker := "  "
+			if u == s.CurrentUnit() {
+				marker = "» "
+			}
+			fmt.Fprintf(r.Out, "%s%s %s\n", marker, u.Kind, u.Name)
+		}
+	case "unit":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: unit <name>")
+		}
+		return s.SelectUnit(args[0])
+	case "callgraph":
+		fmt.Fprint(r.Out, s.Prog.Graph.String())
+	case "loops":
+		for i, l := range s.Loops() {
+			mark := " "
+			if l.Do.Parallel {
+				mark = "P"
+			}
+			fmt.Fprintf(r.Out, "%3d %s depth %d line %d: %s\n",
+				i+1, mark, l.Depth, l.Do.Line(), fortran.StmtText(l.Do))
+		}
+	case "loop":
+		n, err := r.argInt(args, 0, "loop number")
+		if err != nil {
+			return err
+		}
+		if err := s.SelectLoop(n); err != nil {
+			return err
+		}
+		fmt.Fprint(r.Out, view.DepSummary(s), "\n")
+	case "window":
+		fmt.Fprint(r.Out, view.Window(s, nil, core.DepFilter{}))
+	case "source":
+		var filter view.SourceFilter
+		if len(args) > 0 {
+			switch args[0] {
+			case "loops":
+				filter = view.FilterLoopsOnly
+			case "parallel":
+				filter = view.FilterParallel
+			case "contains":
+				if len(args) < 2 {
+					return fmt.Errorf("usage: source contains <text>")
+				}
+				filter = view.FilterContains(strings.Join(args[1:], " "))
+			default:
+				return fmt.Errorf("unknown source filter %q", args[0])
+			}
+		}
+		fmt.Fprint(r.Out, view.SourcePane(s, filter))
+	case "deps":
+		f, err := parseDepFilter(args)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(r.Out, view.DepPane(s, f))
+	case "vars":
+		fmt.Fprint(r.Out, view.VarPane(s))
+	case "mark":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mark <id> accept|reject|pending")
+		}
+		id, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("bad dependence id %q", args[0])
+		}
+		var m dep.Mark
+		switch args[1] {
+		case "accept":
+			m = dep.MarkAccepted
+		case "reject":
+			m = dep.MarkRejected
+		case "pending":
+			m = dep.MarkPending
+		default:
+			return fmt.Errorf("unknown mark %q", args[1])
+		}
+		return s.MarkDep(id, m)
+	case "assert":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: assert <var> <rel> <value>")
+		}
+		return s.Assert(strings.Join(args, " "))
+	case "classify":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: classify <var> shared|private|reduction")
+		}
+		var c core.VarClass
+		switch args[1] {
+		case "shared":
+			c = core.ClassShared
+		case "private":
+			c = core.ClassPrivate
+		case "reduction":
+			c = core.ClassReduction
+		default:
+			return fmt.Errorf("unknown class %q", args[1])
+		}
+		return s.Classify(args[0], c)
+	case "check", "apply":
+		t, err := r.parseTransformation(args)
+		if err != nil {
+			return err
+		}
+		if cmd == "check" {
+			fmt.Fprintf(r.Out, "%s: %s\n", t.Name(), s.Check(t))
+			return nil
+		}
+		v, err := s.Transform(t)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "applied %s: %s\n", t.Name(), v)
+	case "edit":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: edit <stmt-id> <new text>")
+		}
+		id, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("bad statement id %q", args[0])
+		}
+		return s.EditStmt(id, strings.Join(args[1:], " "))
+	case "delete":
+		id, err := r.argInt(args, 0, "statement id")
+		if err != nil {
+			return err
+		}
+		return s.DeleteStmt(id)
+	case "undo":
+		return s.Undo()
+	case "perf":
+		fmt.Fprint(r.Out, s.State().Est.Report())
+	case "rank":
+		est := perf.New(s.File, perf.DefaultParams())
+		for i, row := range est.ProcedureRank() {
+			fmt.Fprintf(r.Out, "%2d. %-12s %.0f\n", i+1, row.Unit.Name, row.Cost)
+		}
+	case "next":
+		l, ok := s.NextByPerformance()
+		if !ok {
+			fmt.Fprintln(r.Out, "every loop is already parallel")
+			return nil
+		}
+		fmt.Fprintf(r.Out, "selected do %s (line %d)\n", l.Header().Name, l.Do.Line())
+	case "auto":
+		n := s.AutoParallelize()
+		fmt.Fprintf(r.Out, "parallelized %d loops\n", n)
+	case "run":
+		workers := 1
+		if len(args) > 0 {
+			w, err := strconv.Atoi(args[0])
+			if err != nil {
+				return fmt.Errorf("bad worker count %q", args[0])
+			}
+			workers = w
+		}
+		var input []float64
+		if w := workloads.ByName(strings.TrimSuffix(s.File.Path, ".f")); w != nil {
+			input = w.Input
+		}
+		out, err := interp.RunCapture(s.File, workers, input)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(r.Out, out)
+	case "set":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: set sections|constants|ranges|inputdeps|interproc on|off")
+		}
+		on := args[1] == "on"
+		if !on && args[1] != "off" {
+			return fmt.Errorf("value must be on or off")
+		}
+		switch args[0] {
+		case "sections":
+			s.Opts.UseSections = on
+		case "constants":
+			s.Opts.UseConstants = on
+		case "ranges":
+			s.Opts.UseRanges = on
+		case "inputdeps":
+			s.Opts.InputDeps = on
+		case "interproc":
+			s.Conservative = !on
+		default:
+			return fmt.Errorf("unknown option %q", args[0])
+		}
+		s.AnalyzeAll()
+		fmt.Fprintf(r.Out, "%s %s; program reanalyzed\n", args[0], args[1])
+	case "advise":
+		sugs := s.Advise()
+		if len(sugs) == 0 {
+			fmt.Fprintln(r.Out, "select a loop first")
+			return nil
+		}
+		for i, sg := range sugs {
+			fmt.Fprintf(r.Out, "%d. %s\n", i+1, sg)
+		}
+	case "endpoints":
+		id, err := r.argInt(args, 0, "dependence id")
+		if err != nil {
+			return err
+		}
+		src, dst, err := s.DepEndpoints(id)
+		if err != nil {
+			return err
+		}
+		printEp := func(label string, ep core.Endpoint) {
+			fmt.Fprintf(r.Out, "%s: line %d: %s\n", label, ep.Line, ep.Text)
+			for _, cr := range ep.CalleeRefs {
+				fmt.Fprintf(r.Out, "    in %s, line %d: %s\n", cr.Unit.Name, cr.Line, cr.Text)
+			}
+		}
+		printEp("source", src)
+		printEp("sink  ", dst)
+	case "compose":
+		ms := s.Prog.CheckComposition()
+		if len(ms) == 0 {
+			fmt.Fprintln(r.Out, "every call site agrees with its callee")
+			return nil
+		}
+		for _, m := range ms {
+			fmt.Fprintln(r.Out, m)
+		}
+	case "history":
+		for _, h := range s.History {
+			fmt.Fprintln(r.Out, h)
+		}
+	case "save":
+		fmt.Fprint(r.Out, s.Save())
+	case "legend":
+		fmt.Fprint(r.Out, view.Legend())
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	return nil
+}
+
+func (r *REPL) argInt(args []string, i int, what string) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing %s", what)
+	}
+	n, err := strconv.Atoi(args[i])
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", what, args[i])
+	}
+	return n, nil
+}
+
+// loopArg resolves "loop <n>" style references to the DO statement.
+func (r *REPL) loopArg(args []string, i int) (*fortran.DoStmt, error) {
+	n, err := r.argInt(args, i, "loop number")
+	if err != nil {
+		return nil, err
+	}
+	loops := r.Session.Loops()
+	if n < 1 || n > len(loops) {
+		return nil, fmt.Errorf("loop %d out of range (1..%d)", n, len(loops))
+	}
+	return loops[n-1].Do, nil
+}
+
+func (r *REPL) parseTransformation(args []string) (xform.Transformation, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("usage: apply <transformation> <loop> [args]")
+	}
+	name := strings.ToLower(args[0])
+	rest := args[1:]
+	switch name {
+	case "parallelize":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Parallelize{Do: do}, nil
+	case "serialize":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Serialize{Do: do}, nil
+	case "interchange":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Interchange{Outer: do}, nil
+	case "reverse":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Reverse{Do: do}, nil
+	case "distribute":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Distribute{Do: do}, nil
+	case "fuse":
+		first, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		second, err := r.loopArg(rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Fuse{First: first, Second: second}, nil
+	case "skew":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := r.argInt(rest, 1, "skew factor")
+		if err != nil {
+			return nil, err
+		}
+		return xform.Skew{Outer: do, Factor: int64(f)}, nil
+	case "stripmine", "strip-mine":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.argInt(rest, 1, "strip size")
+		if err != nil {
+			return nil, err
+		}
+		return xform.StripMine{Do: do, Size: int64(size)}, nil
+	case "unroll":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := r.argInt(rest, 1, "unroll factor")
+		if err != nil {
+			return nil, err
+		}
+		return xform.Unroll{Do: do, Factor: int64(f)}, nil
+	case "peel":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Peel{Do: do}, nil
+	case "privatize":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := r.varArg(rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Privatize{Do: do, Sym: sym}, nil
+	case "privatizearray", "privatize-array":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := r.varArg(rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return xform.PrivatizeArray{Do: do, Sym: sym}, nil
+	case "expand":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := r.varArg(rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return xform.ScalarExpand{Do: do, Sym: sym}, nil
+	case "reductions":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.RecognizeReductions{Do: do}, nil
+	case "normalize":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Normalize{Do: do}, nil
+	case "unrolljam", "unroll-and-jam":
+		do, err := r.loopArg(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := r.argInt(rest, 1, "unroll factor")
+		if err != nil {
+			return nil, err
+		}
+		return xform.UnrollJam{Outer: do, Factor: int64(f)}, nil
+	case "inline":
+		id, err := r.argInt(rest, 0, "statement id")
+		if err != nil {
+			return nil, err
+		}
+		st := r.Session.File.StmtByID(id)
+		call, ok := st.(*fortran.CallStmt)
+		if !ok {
+			return nil, fmt.Errorf("statement %d is not a CALL", id)
+		}
+		return xform.Inline{Call: call}, nil
+	}
+	return nil, fmt.Errorf("unknown transformation %q", name)
+}
+
+func (r *REPL) varArg(args []string, i int) (*fortran.Symbol, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("missing variable name")
+	}
+	sym := r.Session.CurrentUnit().Lookup(strings.ToLower(args[i]))
+	if sym == nil {
+		return nil, fmt.Errorf("no variable %q", args[i])
+	}
+	return sym, nil
+}
+
+func parseDepFilter(args []string) (core.DepFilter, error) {
+	var f core.DepFilter
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "carried":
+			f.CarriedOnly = true
+		case "hiderejected":
+			f.HideRejected = true
+		case "hideprivate":
+			f.HidePrivate = true
+		case "true":
+			f.Classes = append(f.Classes, dep.ClassFlow)
+		case "anti":
+			f.Classes = append(f.Classes, dep.ClassAnti)
+		case "output":
+			f.Classes = append(f.Classes, dep.ClassOutput)
+		case "control":
+			f.Classes = append(f.Classes, dep.ClassControl)
+		case "on":
+			if i+1 >= len(args) {
+				return f, fmt.Errorf("usage: deps on <var>")
+			}
+			i++
+			f.Sym = strings.ToLower(args[i])
+		default:
+			return f, fmt.Errorf("unknown deps filter %q", args[i])
+		}
+	}
+	return f, nil
+}
+
+const helpText = `commands:
+  units | unit <name> | callgraph        program navigation
+  loops | loop <n> | next | window       loop selection and display
+  source [loops|parallel|contains <t>]   source pane with view filters
+  deps [carried|true|anti|output|on <v>|hiderejected|hideprivate]
+  vars | legend                          variable pane
+  mark <id> accept|reject|pending        dependence marking
+  endpoints <id>                         follow a dependence into callees
+  advise                                 guidance for the selected loop
+  assert <var> <rel> <value>             user assertion (e.g. assert n .ge. 100)
+  classify <var> shared|private|reduction
+  check <xform> <loop> [args]            power-steering diagnosis
+  apply <xform> <loop> [args]            apply a transformation
+    xforms: parallelize serialize interchange reverse distribute
+            fuse skew stripmine unroll unrolljam peel privatize
+            privatizearray expand reductions normalize inline <stmt-id>
+  compose                                cross-procedure parameter checks
+  edit <stmt-id> <text> | delete <id> | undo
+  perf | rank | auto                     performance navigation
+  set <analysis> on|off                  toggle sections constants ranges
+                                         inputdeps interproc (ablations)
+  run [workers]                          execute the program
+  history | save | quit
+`

@@ -1,0 +1,150 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"parascope/internal/core"
+	"parascope/internal/dep"
+	"parascope/internal/xform"
+)
+
+const viewSrc = `
+      program main
+      integer i, m
+      real t, a(200), b(200)
+      read(*,*) m
+      do i = 1, 100
+         t = a(i)*2.0
+         b(i) = t + 1.0
+      enddo
+      do i = 1, 100
+         a(i) = a(i+m)
+      enddo
+      end
+`
+
+func open(t *testing.T) *core.Session {
+	t.Helper()
+	s, err := core.Open("t.f", viewSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSourcePane(t *testing.T) {
+	s := open(t)
+	out := SourcePane(s, nil)
+	if !strings.Contains(out, "do i = 1, 100") {
+		t.Errorf("missing loop header:\n%s", out)
+	}
+	if !strings.Contains(out, " s ") {
+		t.Errorf("serial loops should be marked 's':\n%s", out)
+	}
+	// Parallelize loop 1 and confirm the P mark.
+	if err := s.SelectLoop(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform(xform.Parallelize{Do: s.SelectedLoop().Do}); err != nil {
+		t.Fatal(err)
+	}
+	out = SourcePane(s, nil)
+	if !strings.Contains(out, "P ") {
+		t.Errorf("parallel loop should be marked 'P':\n%s", out)
+	}
+}
+
+func TestSourceFilterLoopsOnly(t *testing.T) {
+	s := open(t)
+	out := SourcePane(s, FilterLoopsOnly)
+	if !strings.Contains(out, "do i") {
+		t.Errorf("loops missing:\n%s", out)
+	}
+	if strings.Contains(out, "read(*,*)") {
+		t.Errorf("non-loop line leaked through the filter:\n%s", out)
+	}
+	if !strings.Contains(out, "...") {
+		t.Errorf("elision marker missing:\n%s", out)
+	}
+}
+
+func TestSourceFilterContains(t *testing.T) {
+	s := open(t)
+	out := SourcePane(s, FilterContains("a(i + m)"))
+	if !strings.Contains(out, "a(i + m)") {
+		t.Errorf("matching line missing:\n%s", out)
+	}
+	if strings.Contains(out, "do i") {
+		t.Errorf("non-matching lines leaked:\n%s", out)
+	}
+}
+
+func TestDepPane(t *testing.T) {
+	s := open(t)
+	if err := s.SelectLoop(2); err != nil {
+		t.Fatal(err)
+	}
+	out := DepPane(s, core.DepFilter{CarriedOnly: true})
+	if !strings.Contains(out, "symbolic") {
+		t.Errorf("symbolic-blocked reason missing:\n%s", out)
+	}
+	if !strings.Contains(out, "pending") {
+		t.Errorf("marking state missing:\n%s", out)
+	}
+}
+
+func TestDepPaneEmptyForParallelizable(t *testing.T) {
+	s := open(t)
+	if err := s.SelectLoop(1); err != nil {
+		t.Fatal(err)
+	}
+	out := DepPane(s, core.DepFilter{CarriedOnly: true, HidePrivate: true})
+	if !strings.Contains(out, "parallelizable") {
+		t.Errorf("want the 'parallelizable' hint:\n%s", out)
+	}
+}
+
+func TestVarPane(t *testing.T) {
+	s := open(t)
+	if err := s.SelectLoop(1); err != nil {
+		t.Fatal(err)
+	}
+	out := VarPane(s)
+	for _, want := range []string{"induction", "private", "shared"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWindowLayout(t *testing.T) {
+	s := open(t)
+	if err := s.SelectLoop(1); err != nil {
+		t.Fatal(err)
+	}
+	out := Window(s, nil, core.DepFilter{})
+	for _, want := range []string{"ParaScope Editor", "source:", "dependences", "variables"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("window missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "»") {
+		t.Error("selected-loop marker missing")
+	}
+}
+
+func TestDepSummaryAndLegend(t *testing.T) {
+	s := open(t)
+	if err := s.SelectLoop(2); err != nil {
+		t.Fatal(err)
+	}
+	sum := DepSummary(s)
+	if !strings.Contains(sum, "true") || !strings.Contains(sum, "anti") {
+		t.Errorf("summary = %q", sum)
+	}
+	if !strings.Contains(Legend(), "proven | pending") {
+		t.Error("legend missing marking states")
+	}
+	_ = dep.ClassFlow
+}

@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"fmt"
+
+	"parascope/internal/core"
+)
+
+// Arc3d models the CFD code arc3d (NASA Ames). Two traits from the
+// paper: (1) the filter loop indexes q with a symbolic plane offset
+// (the filter3d example of §4), so the user must assert the offset's
+// magnitude before the loop parallelizes; (2) the plane-sweep loop
+// re-fills a whole work array each iteration inside a called
+// procedure — interprocedural *array kill* analysis recognizes the
+// overwrite, but array privatization is not available (matching the
+// paper, where arc3d's sweep could not be parallelized), so that loop
+// stays serial.
+func Arc3d() *Workload {
+	return &Workload{
+		Name:         "arc3d",
+		Description:  "implicit CFD solver (filter + plane sweeps)",
+		ModeledAfter: "arc3d — CFD code from NASA Ames (filter3d routine)",
+		Traits:       []Trait{TraitSymbolics, TraitArrayKill, TraitReductions, TraitSections},
+		Input:        []float64{500},
+		Source: `
+      program arc3d
+      integer n, nk, jp, j, k
+      parameter (n = 400, nk = 20)
+      real q(1000), work(64), res
+      read(*,*) jp
+      do j = 1, 1000
+         q(j) = 0.001*real(mod(j, 31)) + 0.5
+      enddo
+      do j = 1, n
+         q(j) = q(j + jp)*0.25 + q(j)*0.5
+      enddo
+      do k = 1, nk
+         call sweep(work, q, k)
+      enddo
+      res = 0.0
+      do j = 1, n
+         res = max(res, abs(q(j)))
+      enddo
+      print *, res, q(100)
+      end
+      subroutine sweep(w, q, k)
+      integer k, i
+      real w(64), q(1000), s
+      do i = 1, 64
+         w(i) = real(i + k)*0.01
+      enddo
+      s = 0.0
+      do i = 1, 64
+         s = s + w(i)
+      enddo
+      do i = 1, 64
+         q(k + i) = q(k + i) + s*0.0001
+      enddo
+      end
+`,
+		Script: arc3dScript,
+	}
+}
+
+// arc3dScript replays the documented interaction: the filter loop is
+// blocked by the symbolic offset jp until the user asserts its
+// magnitude (matching the program's input); the sweep loop stays
+// serial because privatizing the work array is beyond the tool, as
+// the paper reports for arc3d.
+func arc3dScript(s *core.Session) (int, error) {
+	before := s.AutoParallelize()
+	if err := s.Assert("jp .ge. 500"); err != nil {
+		return before, err
+	}
+	after := s.AutoParallelize()
+	total := before + after
+	if after == 0 {
+		return total, fmt.Errorf("arc3d: the assertion unlocked no loop")
+	}
+	return total, nil
+}

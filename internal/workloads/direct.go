@@ -1,0 +1,55 @@
+package workloads
+
+import "parascope/internal/core"
+
+// Direct models a dense direct solver: dot-product reductions and the
+// matrix-vector inner loops parallelize; the back-substitution
+// recurrence does not. The in-place reversal swap is the
+// weak-crossing SIV showcase: its crossing point (i + i' = 121) lies
+// outside the iteration range, so the exact test proves the two
+// halves disjoint and the swap loop parallel.
+func Direct() *Workload {
+	return &Workload{
+		Name:         "direct",
+		Description:  "direct solver kernels: dot products, update, back-substitution",
+		ModeledAfter: "dense linear algebra code exercising the exact dependence tests",
+		Traits:       []Trait{TraitDependence, TraitReductions},
+		Source: `
+      program direct
+      integer n, i, j
+      parameter (n = 120)
+      real a(120,120), x(120), y(120), dot, t
+      do j = 1, n
+         do i = 1, n
+            a(i,j) = 1.0/real(i + j)
+         enddo
+      enddo
+      do i = 1, n
+         x(i) = 0.01*real(i)
+         y(i) = 0.0
+      enddo
+      dot = 0.0
+      do i = 1, n
+         dot = dot + x(i)*x(i)
+      enddo
+      do j = 1, n
+         do i = 1, n
+            y(i) = y(i) + a(i,j)*x(j)
+         enddo
+      enddo
+      do i = 1, 60
+         t = y(i)
+         y(i) = y(121 - i)
+         y(121 - i) = t
+      enddo
+      do i = 2, n
+         y(i) = y(i) + y(i-1)*0.001
+      enddo
+      print *, dot, y(60)
+      end
+`,
+		Script: func(s *core.Session) (int, error) {
+			return s.AutoParallelize(), nil
+		},
+	}
+}

@@ -1,0 +1,58 @@
+package workloads
+
+import "parascope/internal/core"
+
+// Interior models an interior-point stencil written in the
+// "linearized array" style Singh and Hennessy observed interfering
+// with compiler analysis ("certain programming styles interfere with
+// compiler analysis. These include linearized arrays and specialized
+// use of the boundary elements"): the 2-d grid lives in a 1-d array
+// indexed by (j-1)*n + i, so every subscript is a multi-index (MIV)
+// expression that exercises the GCD/Banerjee tier of the dependence
+// suite. The red-sweep loop is parallel (proven by the MIV tests);
+// the row-recurrence is not; boundary elements are handled by peeled
+// special cases.
+func Interior() *Workload {
+	return &Workload{
+		Name:         "interior",
+		Description:  "linearized-array interior stencil (MIV subscripts)",
+		ModeledAfter: "linearized-array codes from the Singh–Hennessy study (§6)",
+		Traits:       []Trait{TraitDependence, TraitReductions},
+		Source: `
+      program interior
+      integer n, i, j
+      parameter (n = 40)
+      real g(1600), r(1600), resid
+      do j = 1, n
+         do i = 1, n
+            g((j-1)*40 + i) = 0.01*real(i + j)
+            r((j-1)*40 + i) = 0.0
+         enddo
+      enddo
+      do j = 2, 39
+         do i = 2, 39
+            r((j-1)*40 + i) = g((j-1)*40 + i - 1) + g((j-1)*40 + i + 1)
+     &                      + g((j-2)*40 + i) + g(j*40 + i)
+     &                      - 4.0*g((j-1)*40 + i)
+         enddo
+      enddo
+      do j = 2, 39
+         do i = 3, 39
+            g((j-1)*40 + i) = g((j-1)*40 + i - 1)*0.5
+     &                      + r((j-1)*40 + i)*0.25
+         enddo
+      enddo
+      resid = 0.0
+      do j = 1, n
+         do i = 1, n
+            resid = resid + abs(r((j-1)*40 + i))
+         enddo
+      enddo
+      print *, resid, g(820)
+      end
+`,
+		Script: func(s *core.Session) (int, error) {
+			return s.AutoParallelize(), nil
+		},
+	}
+}

@@ -1,0 +1,52 @@
+package workloads
+
+import "parascope/internal/core"
+
+// Nxsns models the quantum-mechanics code nxsns (1400 lines, 11
+// procedures, contributed by John Engle). Its defining trait, called
+// out explicitly in the paper ("In the program nxsns, interprocedural
+// scalar Kill analysis reveals a scalar variable is killed in a
+// procedure invoked inside a loop"): the flux loop calls a
+// cross-section routine that definitely assigns its output scalar, so
+// interprocedural Kill analysis is what makes the scalar privatizable
+// and the loop parallel.
+func Nxsns() *Workload {
+	return &Workload{
+		Name:         "nxsns",
+		Description:  "neutron cross-section flux sweep",
+		ModeledAfter: "nxsns — quantum mechanics code, 1400 lines, 11 procedures",
+		Traits:       []Trait{TraitScalarKill, TraitReductions, TraitDependence},
+		Source: `
+      program nxsns
+      integer n, i
+      parameter (n = 800)
+      real e(800), w(800), flux(800)
+      real sigma, total
+      do i = 1, n
+         e(i) = 0.5 + 0.01*real(mod(i, 53))
+         w(i) = 1.0/real(i)
+      enddo
+      do i = 1, n
+         call cross(e(i), sigma)
+         flux(i) = sigma*w(i)
+      enddo
+      total = 0.0
+      do i = 1, n
+         total = total + flux(i)
+      enddo
+      print *, total
+      end
+      subroutine cross(en, sig)
+      real en, sig
+      if (en .gt. 1.0) then
+         sig = 2.0/en
+      else
+         sig = 1.0 + en*en
+      endif
+      end
+`,
+		Script: func(s *core.Session) (int, error) {
+			return s.AutoParallelize(), nil
+		},
+	}
+}

@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+
+	"parascope/internal/core"
+	"parascope/internal/dep"
+	"parascope/internal/xform"
+)
+
+// Onedim models a 1-d particle code whose defining trait is
+// *index-array subscripts* (Table 3: "three programs contained index
+// arrays in subscript expressions that prevented parallelization").
+// The scatter loop updates fld(idx(ip)); no subscript test can
+// disprove the carried dependences, but the user knows idx is a
+// permutation and deletes them (dependence marking), after which the
+// loop parallelizes. The energy diagnostic exercises reduction
+// recognition.
+func Onedim() *Workload {
+	return &Workload{
+		Name:         "onedim",
+		Description:  "1-d particle scatter with permutation index array",
+		ModeledAfter: "particle-in-cell style code with index arrays (Table 3's index-array row)",
+		Traits:       []Trait{TraitIndexArray, TraitReductions},
+		Source: `
+      program onedim
+      integer np, ip
+      parameter (np = 900)
+      integer idx(900)
+      real q(900), fld(900), energy
+      do ip = 1, np
+         idx(ip) = np - ip + 1
+         q(ip) = 0.001*real(ip)
+         fld(ip) = 0.0
+      enddo
+      do ip = 1, np
+         fld(idx(ip)) = fld(idx(ip)) + q(ip)
+      enddo
+      energy = 0.0
+      do ip = 1, np
+         energy = energy + fld(ip)*fld(ip)
+      enddo
+      print *, energy, fld(1)
+      end
+`,
+		Script: onedimScript,
+	}
+}
+
+// onedimScript replays the documented index-array interaction: reject
+// the pending dependences on fld in the scatter loop (the user knows
+// idx is a permutation), then parallelize.
+func onedimScript(s *core.Session) (int, error) {
+	count := s.AutoParallelize()
+	// Find the scatter loop: the serial one whose deps are blocked by
+	// the index array.
+	scatter := -1
+	for i, l := range s.Loops() {
+		if l.Do.Parallel {
+			continue
+		}
+		if err := s.SelectLoop(i + 1); err != nil {
+			return count, err
+		}
+		for _, d := range s.SelectionDeps(core.DepFilter{CarriedOnly: true}) {
+			if d.Reason == "index-array" {
+				scatter = i + 1
+			}
+		}
+	}
+	if scatter < 0 {
+		return count, fmt.Errorf("onedim: no index-array-blocked loop found")
+	}
+	if err := s.SelectLoop(scatter); err != nil {
+		return count, err
+	}
+	for _, d := range s.SelectionDeps(core.DepFilter{CarriedOnly: true, Sym: "fld"}) {
+		if d.Mark == dep.MarkPending {
+			if err := s.MarkDep(d.ID, dep.MarkRejected); err != nil {
+				return count, err
+			}
+		}
+	}
+	do := s.SelectedLoop().Do
+	if _, err := s.Transform(xform.Parallelize{Do: do}); err != nil {
+		return count, fmt.Errorf("onedim: parallelize after deletion: %v", err)
+	}
+	return count + 1, nil
+}

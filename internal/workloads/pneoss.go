@@ -1,0 +1,53 @@
+package workloads
+
+import "parascope/internal/core"
+
+// Pneoss models the thermodynamics code pneoss (350 lines, 5
+// procedures, contributed by Mary Zosel of LLNL). Its loops carry
+// scalar temporaries that scalar data-flow analysis proves
+// privatizable, plus a guarded equation-of-state branch and a final
+// sum reduction — the "dependence analysis plus privatization
+// suffices" case of Table 3.
+func Pneoss() *Workload {
+	return &Workload{
+		Name:         "pneoss",
+		Description:  "thermodynamics equation-of-state sweep",
+		ModeledAfter: "pneoss — thermodynamics code, 350 lines, 5 procedures",
+		Traits:       []Trait{TraitDependence, TraitReductions},
+		Source: `
+      program pneoss
+      integer n, i
+      parameter (n = 600)
+      real rho(600), e(600), p(600), cs(600)
+      real t, c, s
+      call setup(rho, e, n)
+      do i = 1, n
+         t = e(i)/(1.5*rho(i))
+         c = sqrt(1.4*t)
+         if (t .gt. 2.5) then
+            p(i) = rho(i)*t*1.01
+         else
+            p(i) = rho(i)*t + 0.1*c
+         endif
+         cs(i) = c
+      enddo
+      s = 0.0
+      do i = 1, n
+         s = s + p(i) + 0.001*cs(i)
+      enddo
+      print *, s
+      end
+      subroutine setup(rho, e, n)
+      integer n, i
+      real rho(n), e(n)
+      do i = 1, n
+         rho(i) = 1.0 + 0.001*real(i)
+         e(i) = 2.0 + 0.005*real(mod(i, 97))
+      enddo
+      end
+`,
+		Script: func(s *core.Session) (int, error) {
+			return s.AutoParallelize(), nil
+		},
+	}
+}

@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"fmt"
+
+	"parascope/internal/core"
+	"parascope/internal/fortran"
+	"parascope/internal/xform"
+)
+
+// Shear models a shear-flow relaxation whose sweep loop nest has the
+// classic "parallelism in the wrong place" shape: the outer loop
+// carries the dependence (columns build on the previous column) while
+// the inner loop is parallel but too fine-grained. Loop interchange
+// moves the parallel loop outward — the paper's canonical use of the
+// transformation catalog (Table 3's "transforms" row).
+func Shear() *Workload {
+	return &Workload{
+		Name:         "shear",
+		Description:  "shear-flow column relaxation (interchange showcase)",
+		ModeledAfter: "structural relaxation code needing loop interchange (§5)",
+		Traits:       []Trait{TraitTransforms, TraitDependence},
+		Source: `
+      program shear
+      integer n, m, i, j
+      parameter (n = 150, m = 40)
+      real a(150,40), b(150,40), s
+      do j = 1, m
+         do i = 1, n
+            a(i,j) = 0.01*real(i + j)
+            b(i,j) = 0.002*real(i)
+         enddo
+      enddo
+      do j = 2, m
+         do i = 1, n
+            a(i,j) = a(i,j-1)*0.5 + b(i,j)
+         enddo
+      enddo
+      s = 0.0
+      do j = 1, m
+         do i = 1, n
+            s = s + a(i,j)
+         enddo
+      enddo
+      print *, s
+      end
+`,
+		Script: shearScript,
+	}
+}
+
+// shearScript interchanges the relaxation nest so the dependence-free
+// i loop becomes outermost, then parallelizes it.
+func shearScript(s *core.Session) (int, error) {
+	count := s.AutoParallelize()
+	// The relaxation nest stayed serial; find its outer loop.
+	var target *fortran.DoStmt
+	for _, l := range s.Loops() {
+		if l.Do.Parallel || l.Depth != 1 {
+			continue
+		}
+		inner, ok := firstInner(l.Do)
+		if !ok {
+			continue
+		}
+		_ = inner
+		target = l.Do
+	}
+	if target == nil {
+		return count, fmt.Errorf("shear: serial nest not found")
+	}
+	if _, err := s.Transform(xform.Interchange{Outer: target}); err != nil {
+		return count, fmt.Errorf("shear: interchange: %v", err)
+	}
+	if _, err := s.Transform(xform.Parallelize{Do: target}); err != nil {
+		return count, fmt.Errorf("shear: parallelize after interchange: %v", err)
+	}
+	return len(s.ParallelLoops()), nil
+}
+
+func firstInner(do *fortran.DoStmt) (*fortran.DoStmt, bool) {
+	if len(do.Body) == 1 {
+		inner, ok := do.Body[0].(*fortran.DoStmt)
+		return inner, ok
+	}
+	return nil, false
+}

@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"fmt"
+
+	"parascope/internal/core"
+	"parascope/internal/fortran"
+	"parascope/internal/xform"
+)
+
+// Slab2d models the code slab2d, whose paper trait is that analysis
+// alone is not enough: "To perform array privatization in slab2d,
+// kill analysis must be combined with loop transformations." Here the
+// main update loop mixes an independent computation with a running
+// recurrence; *loop distribution* separates them so the independent
+// part parallelizes, while the recurrence component stays serial —
+// the transformation-driven parallelization of Table 3's
+// "transforms" row.
+func Slab2d() *Workload {
+	return &Workload{
+		Name:         "slab2d",
+		Description:  "slab diffusion update with running accumulation",
+		ModeledAfter: "slab2d — 2-d slab code requiring kill analysis plus loop transformations",
+		Traits:       []Trait{TraitTransforms, TraitArrayKill, TraitDependence},
+		Source: `
+      program slab2d
+      integer n, i
+      parameter (n = 700)
+      real a(700), b(700), c(700), acc(700)
+      real t
+      do i = 1, n
+         a(i) = 0.5 + 0.002*real(mod(i, 41))
+         c(i) = 1.0/real(i)
+         acc(i) = 0.0
+      enddo
+      do i = 2, n
+         t = a(i)*2.0 + a(i-1)*0.5
+         b(i) = t + c(i)
+         acc(i) = acc(i-1) + b(i)
+      enddo
+      print *, b(350), acc(700)
+      end
+`,
+		Script: slab2dScript,
+	}
+}
+
+// slab2dScript distributes the mixed loop, then parallelizes the
+// independent component; the accumulation loop remains serial.
+func slab2dScript(s *core.Session) (int, error) {
+	// Find the update loop (the one whose body assigns b).
+	var target *fortran.DoStmt
+	for _, l := range s.Loops() {
+		for _, st := range l.Do.Body {
+			if as, ok := st.(*fortran.AssignStmt); ok && as.Lhs.Name == "b" {
+				target = l.Do
+			}
+		}
+	}
+	if target == nil {
+		return 0, fmt.Errorf("slab2d: update loop not found")
+	}
+	if _, err := s.Transform(xform.Distribute{Do: target}); err != nil {
+		return 0, fmt.Errorf("slab2d: distribute: %v", err)
+	}
+	return s.AutoParallelize(), nil
+}

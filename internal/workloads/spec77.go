@@ -1,0 +1,69 @@
+package workloads
+
+import "parascope/internal/core"
+
+// Spec77 models the weather-simulation code spec77 (5600 lines, 67
+// procedures, contributed by Steve Poole and Lo Hsieh in the paper's
+// study) at reduced scale. Its defining trait is the gloop pattern:
+// the latitude loop invokes a subroutine that updates one grid column
+// per call, so parallelizing it requires interprocedural regular
+// section analysis; the time-step loop carries a true dependence and
+// must stay serial; the energy diagnostic is a sum reduction.
+func Spec77() *Workload {
+	return &Workload{
+		Name:         "spec77",
+		Description:  "weather simulation (spectral grid sweep)",
+		ModeledAfter: "spec77 — weather simulation code, 5600 lines, 67 procedures",
+		Traits:       []Trait{TraitSections, TraitReductions, TraitDependence},
+		Source: `
+      program spec77
+      integer nlon, nlat, nstep
+      parameter (nlon = 64, nlat = 32, nstep = 4)
+      integer ilat, istep, k
+      real u(64,32), v(64,32), energy
+      do ilat = 1, nlat
+         call initlat(u, v, ilat)
+      enddo
+      do istep = 1, nstep
+         do ilat = 1, nlat
+            call gloop(u, v, ilat)
+         enddo
+      enddo
+      energy = 0.0
+      do ilat = 1, nlat
+         do k = 1, nlon
+            energy = energy + u(k,ilat)*u(k,ilat) + v(k,ilat)*v(k,ilat)
+         enddo
+      enddo
+      print *, energy
+      end
+      subroutine initlat(u, v, j)
+      integer nlon, j, k
+      parameter (nlon = 64)
+      real u(64,32), v(64,32)
+      do k = 1, nlon
+         u(k,j) = real(k + j)*0.01
+         v(k,j) = real(k - j)*0.01
+      enddo
+      end
+      subroutine gloop(u, v, j)
+      integer nlon, j, k
+      parameter (nlon = 64)
+      real u(64,32), v(64,32), t
+      do k = 2, nlon
+         t = u(k,j) + v(k-1,j)
+         u(k,j) = t*0.99
+         v(k,j) = v(k,j) + t*0.01
+      enddo
+      end
+`,
+		Script: spec77Script,
+	}
+}
+
+// spec77Script mirrors the paper's session: with regular sections on,
+// the latitude loops parallelize automatically; the time-step loop is
+// left serial.
+func spec77Script(s *core.Session) (int, error) {
+	return s.AutoParallelize(), nil
+}

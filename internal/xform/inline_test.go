@@ -1,0 +1,356 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"parascope/internal/dep"
+	"parascope/internal/fortran"
+	"parascope/internal/interp"
+	"parascope/internal/interproc"
+)
+
+// interprocCtx builds a context with full interprocedural analysis
+// (Mod/Ref, Kill, sections) — what a core.Session provides.
+func interprocCtx(t *testing.T, f *fortran.File) *Context {
+	t.Helper()
+	prog := interproc.AnalyzeProgram(f)
+	return NewContext(f, f.Units[0], &interproc.Effects{Prog: prog}, nil,
+		&interproc.SectionProvider{Prog: prog}, dep.DefaultOptions())
+}
+
+// findCall locates the first call to name in the unit.
+func findCall(u *fortran.Unit, name string) *fortran.CallStmt {
+	var out *fortran.CallStmt
+	fortran.WalkStmts(u.Body, func(s fortran.Stmt) bool {
+		if cs, ok := s.(*fortran.CallStmt); ok && cs.Name == name && out == nil {
+			out = cs
+		}
+		return out == nil
+	})
+	return out
+}
+
+const gloopProgram = `
+      program main
+      integer ilat
+      real u(64,32)
+      do ilat = 1, 32
+         call gloop(u, ilat)
+      enddo
+      print *, u(10,10), u(64,32)
+      end
+      subroutine gloop(u, j)
+      integer j, k
+      real u(64,32), t
+      do k = 1, 64
+         t = real(k + j)*0.5
+         u(k,j) = t + 1.0
+      enddo
+      end
+`
+
+func TestInlineBasic(t *testing.T) {
+	c := newCtx(t, gloopProgram)
+	seqOut, err := interp.RunCapture(fortran.MustParse("ref.f", gloopProgram), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := findCall(c.Unit, "gloop")
+	tr := Inline{Call: call}
+	v := tr.Check(c)
+	if !v.OK() || !v.Profitable {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	// The callee's loop is now nested directly in the ilat loop.
+	outer := c.DF.Tree.Roots[0]
+	if len(outer.Children) != 1 || outer.Children[0].Header().Name != "k" {
+		t.Fatalf("inlined nest shape wrong: %v", outer.Children)
+	}
+	// Semantics preserved.
+	got, err := interp.RunCapture(c.File, 1, nil)
+	if err != nil {
+		t.Fatalf("inlined program failed: %v\n%s", err, c.File.Path)
+	}
+	if ok, why := interp.OutputsEquivalent(seqOut, got, 1e-9); !ok {
+		t.Errorf("output changed: %s\nwant %q\ngot  %q", why, seqOut, got)
+	}
+	reparse(t, c)
+}
+
+func TestInlineEnablesOuterParallelization(t *testing.T) {
+	// The paper's gloop scenario: after embedding, the whole nest is
+	// visible and the outer latitude loop parallelizes directly.
+	c := newCtx(t, gloopProgram)
+	call := findCall(c.Unit, "gloop")
+	if err := (Inline{Call: call}).Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	outer := c.DF.Tree.Roots[0].Do
+	v := (Parallelize{Do: outer}).Check(c)
+	if !v.Safe {
+		t.Fatalf("outer loop should parallelize after inlining: %s", v)
+	}
+}
+
+func TestInlineLocalRenaming(t *testing.T) {
+	// The callee's local t must not collide with the caller's t.
+	src := `
+      program main
+      real t, x
+      t = 7.0
+      x = 1.0
+      call f(x)
+      print *, t, x
+      end
+      subroutine f(v)
+      real v, t
+      t = v*2.0
+      v = t + 1.0
+      end
+`
+	c := newCtx(t, src)
+	seqOut, err := interp.RunCapture(fortran.MustParse("ref.f", src), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := findCall(c.Unit, "f")
+	if err := (Inline{Call: call}).Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	got, err := interp.RunCapture(c.File, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := interp.OutputsEquivalent(seqOut, got, 1e-9); !ok {
+		t.Errorf("local collision changed output: %s\nwant %q got %q\n%s",
+			why, seqOut, got, c.Unit.Name)
+	}
+	// The caller must now have a renamed local (t1).
+	if c.Unit.Lookup("t1") == nil {
+		t.Error("expected renamed local t1")
+	}
+}
+
+func TestInlineExpressionActual(t *testing.T) {
+	src := `
+      program main
+      real y, r
+      y = 3.0
+      call f(y*2.0, r)
+      print *, r
+      end
+      subroutine f(x, out)
+      real x, out
+      out = x + 1.0
+      end
+`
+	c := newCtx(t, src)
+	seqOut, err := interp.RunCapture(fortran.MustParse("ref.f", src), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := findCall(c.Unit, "f")
+	tr := Inline{Call: call}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	got, err := interp.RunCapture(c.File, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := interp.OutputsEquivalent(seqOut, got, 1e-9); !ok {
+		t.Errorf("output changed: %s", why)
+	}
+}
+
+func TestInlineRejectsWriteToExprActual(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      real y
+      y = 1.0
+      call f(y*2.0)
+      end
+      subroutine f(x)
+      real x
+      x = 5.0
+      end
+`)
+	call := findCall(c.Unit, "f")
+	if v := (Inline{Call: call}).Check(c); v.Applicable {
+		t.Fatalf("writing an expression actual must not be inlinable: %s", v)
+	}
+}
+
+func TestInlineRejectsControlFlow(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      real y
+      y = 1.0
+      call f(y)
+      end
+      subroutine f(x)
+      real x
+      if (x .gt. 0.0) return
+      x = -x
+      end
+`)
+	call := findCall(c.Unit, "f")
+	v := (Inline{Call: call}).Check(c)
+	if v.Applicable {
+		t.Fatalf("early RETURN must block inlining: %s", v)
+	}
+	if !strings.Contains(strings.Join(v.Notes, " "), "RETURN") {
+		t.Errorf("notes = %v", v.Notes)
+	}
+}
+
+func TestInlineCommonBinding(t *testing.T) {
+	src := `
+      program main
+      real acc
+      common /st/ acc
+      acc = 1.0
+      call bump
+      call bump
+      print *, acc
+      end
+      subroutine bump
+      real acc
+      common /st/ acc
+      acc = acc + 2.0
+      end
+`
+	c := newCtx(t, src)
+	seqOut, err := interp.RunCapture(fortran.MustParse("ref.f", src), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := findCall(c.Unit, "bump")
+	if err := (Inline{Call: call}).Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	got, err := interp.RunCapture(c.File, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := interp.OutputsEquivalent(seqOut, got, 1e-9); !ok {
+		t.Errorf("common inline changed output: %s\nwant %q got %q", why, seqOut, got)
+	}
+}
+
+// TestArrayPrivatization exercises the extension the paper says arc3d
+// needed: a sweep loop whose called routine kills a work array every
+// iteration. Privatizing the array removes the carried dependences;
+// parallel execution must still match sequential.
+func TestArrayPrivatization(t *testing.T) {
+	src := `
+      program main
+      integer k
+      real q(200), work(32)
+      do k = 1, 200
+         q(k) = 0.01*real(mod(k, 13))
+      enddo
+      do k = 1, 100
+         call sweep(work, q, k)
+      enddo
+      print *, q(1), q(50), q(164)
+      end
+      subroutine sweep(w, q, k)
+      integer k, i
+      real w(32), q(200), s
+      do i = 1, 32
+         w(i) = real(i + k)*0.01
+      enddo
+      s = 0.0
+      do i = 1, 32
+         s = s + w(i)
+      enddo
+      q(k + 64) = q(k + 64) + s*0.001
+      end
+`
+	// Reference run.
+	ref := fortran.MustParse("ref.f", src)
+	want, err := interp.RunCapture(ref, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analysis needs the interprocedural summaries.
+	f := fortran.MustParse("t.f", src)
+	c := interprocCtx(t, f)
+	sweepLoop := c.DF.Tree.Roots[1].Do
+	work := c.Unit.Lookup("work")
+
+	// Without privatization the work array blocks the loop.
+	pv := (Parallelize{Do: sweepLoop}).Check(c)
+	if pv.Safe {
+		t.Fatalf("work array should block the sweep loop: %s", pv)
+	}
+
+	tr := PrivatizeArray{Do: sweepLoop, Sym: work}
+	v := tr.Check(c)
+	if !v.OK() {
+		t.Fatalf("array privatization verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	sweepLoop = c.DF.Tree.Roots[1].Do // refresh does not move statements, but re-fetch for clarity
+
+	pv = (Parallelize{Do: sweepLoop}).Check(c)
+	if !pv.Safe {
+		t.Fatalf("after array privatization the sweep loop should parallelize: %s", pv)
+	}
+	if err := (Parallelize{Do: sweepLoop}).Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := interp.RunCapture(c.File, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := interp.OutputsEquivalent(want, got, 1e-6); !ok {
+		t.Errorf("private-array parallel run differs: %s\nwant %q\ngot  %q", why, want, got)
+	}
+}
+
+// TestArrayPrivatizationRejectsUpwardExposed: if the callee reads the
+// array before killing it, privatization must be refused.
+func TestArrayPrivatizationRejectsUpwardExposed(t *testing.T) {
+	src := `
+      program main
+      integer k
+      real q(200), work(32)
+      do k = 1, 100
+         call sweep(work, q, k)
+      enddo
+      print *, q(1)
+      end
+      subroutine sweep(w, q, k)
+      integer k, i
+      real w(32), q(200)
+      q(k) = w(1)
+      do i = 1, 32
+         w(i) = real(i + k)*0.01
+      enddo
+      end
+`
+	f := fortran.MustParse("t.f", src)
+	c := interprocCtx(t, f)
+	loop := c.DF.Tree.Roots[0].Do
+	work := c.Unit.Lookup("work")
+	if v := (PrivatizeArray{Do: loop, Sym: work}).Check(c); v.Safe {
+		t.Fatalf("upward-exposed read must block array privatization: %s", v)
+	}
+}

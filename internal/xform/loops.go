@@ -1,0 +1,826 @@
+package xform
+
+import (
+	"fmt"
+
+	"parascope/internal/dataflow"
+	"parascope/internal/dep"
+	"parascope/internal/expr"
+	"parascope/internal/fortran"
+	"parascope/internal/perf"
+)
+
+// ---------------------------------------------------------------------------
+// Parallelize / Serialize
+
+// Parallelize marks a DO loop as a parallel (DOALL) loop, privatizing
+// scalars and attaching recognized reductions.
+type Parallelize struct {
+	Do *fortran.DoStmt
+}
+
+// Name implements Transformation.
+func (Parallelize) Name() string { return "parallelize" }
+
+// blockingDeps returns the carried dependences that prevent running
+// the loop's iterations in parallel, after accounting for private
+// scalars and reductions. It also returns the privatization and
+// reduction sets the parallelization would introduce.
+func blockingDeps(c *Context, do *fortran.DoStmt) (blocking []*dep.Dependence,
+	privs []*fortran.Symbol, reds []fortran.Reduction, notes []string) {
+
+	l := c.Loop(do)
+	if l == nil {
+		return nil, nil, nil, []string{"not a loop in the current analysis"}
+	}
+	reds = c.DF.Reductions(l)
+	redSet := map[*fortran.Symbol]bool{}
+	for _, r := range reds {
+		redSet[r.Sym] = true
+	}
+	privSet := map[*fortran.Symbol]bool{l.Do.Var: true}
+	privs = append(privs, l.Do.Var)
+	// Variables the user already privatized (e.g. via the explicit
+	// array privatization transformation) stay private.
+	for _, p := range do.Private {
+		if !privSet[p] {
+			privSet[p] = true
+			privs = append(privs, p)
+		}
+	}
+	for _, d := range activeDeps(c.Deps.CarriedAt(l)) {
+		sym := d.Sym
+		if privSet[sym] || redSet[sym] {
+			continue
+		}
+		if sym.Kind == fortran.SymScalar {
+			res := c.DF.Privatizable(l, sym)
+			if res.Privatizable && !res.NeedsLastValue {
+				privSet[sym] = true
+				privs = append(privs, sym)
+				continue
+			}
+			if res.Privatizable && res.NeedsLastValue {
+				notes = append(notes, fmt.Sprintf("%s needs last-value copy-out", sym.Name))
+			}
+		}
+		blocking = append(blocking, d)
+	}
+	return blocking, privs, reds, notes
+}
+
+// Check implements Transformation.
+func (t Parallelize) Check(c *Context) Verdict {
+	v := Verdict{Applicable: true}
+	if t.Do.Parallel {
+		v.Applicable = false
+		v.note("loop is already parallel")
+		return v
+	}
+	blocking, privs, reds, notes := blockingDeps(c, t.Do)
+	v.Notes = append(v.Notes, notes...)
+	v.Safe = len(blocking) == 0
+	for _, d := range blocking {
+		v.note("blocked by %s", d)
+	}
+	if len(privs) > 1 {
+		v.note("%d scalars privatized", len(privs)-1)
+	}
+	if len(reds) > 0 {
+		v.note("%d reductions recognized", len(reds))
+	}
+	l := c.Loop(t.Do)
+	if l != nil && v.Safe {
+		// Static profitability: compare the loop's estimated serial
+		// time against the parallel prediction (fork cost plus the
+		// per-processor share), the estimator model of [26].
+		est := perf.New(c.File, perf.DefaultParams())
+		le := est.EstimateLoop(c.DF, l)
+		v.Profitable = le.Speedup > 1.2
+		v.note("estimated speedup %.1fx on %d processors", le.Speedup, perf.DefaultParams().Procs)
+		if !v.Profitable {
+			v.note("fork/join overhead dominates this loop's work")
+		}
+	}
+	return v
+}
+
+// Apply implements Transformation.
+func (t Parallelize) Apply(c *Context) error {
+	blocking, privs, reds, _ := blockingDeps(c, t.Do)
+	if len(blocking) > 0 {
+		return fmt.Errorf("parallelize: %d blocking dependences", len(blocking))
+	}
+	t.Do.Parallel = true
+	t.Do.Private = privs
+	t.Do.Reductions = reds
+	return nil
+}
+
+// Serialize reverts a parallel loop to sequential execution.
+type Serialize struct {
+	Do *fortran.DoStmt
+}
+
+// Name implements Transformation.
+func (Serialize) Name() string { return "serialize" }
+
+// Check implements Transformation.
+func (t Serialize) Check(c *Context) Verdict {
+	v := Verdict{Applicable: t.Do.Parallel, Safe: true, Profitable: false}
+	if !t.Do.Parallel {
+		v.note("loop is not parallel")
+	}
+	return v
+}
+
+// Apply implements Transformation.
+func (t Serialize) Apply(c *Context) error {
+	t.Do.Parallel = false
+	t.Do.Private = nil
+	t.Do.Reductions = nil
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Interchange
+
+// Interchange swaps a loop with the single loop its body directly
+// contains (a perfectly nested pair).
+type Interchange struct {
+	Outer *fortran.DoStmt
+}
+
+// Name implements Transformation.
+func (Interchange) Name() string { return "interchange" }
+
+func (t Interchange) inner() *fortran.DoStmt {
+	if len(t.Outer.Body) != 1 {
+		return nil
+	}
+	inner, _ := t.Outer.Body[0].(*fortran.DoStmt)
+	return inner
+}
+
+// Check implements Transformation.
+func (t Interchange) Check(c *Context) Verdict {
+	var v Verdict
+	inner := t.inner()
+	if inner == nil {
+		v.note("loop body is not a single nested DO (imperfect nest)")
+		return v
+	}
+	if refsVar(inner.Lo, t.Outer.Var) || refsVar(inner.Hi, t.Outer.Var) || refsVar(inner.Step, t.Outer.Var) {
+		v.note("inner bounds depend on %s (triangular nest)", t.Outer.Var.Name)
+		return v
+	}
+	if refsVar(t.Outer.Lo, inner.Var) || refsVar(t.Outer.Hi, inner.Var) {
+		v.note("outer bounds depend on %s", inner.Var.Name)
+		return v
+	}
+	if staleLoop(c, t.Outer, &v) {
+		return v
+	}
+	v.Applicable = true
+	// Safety: no dependence with direction (<, >) across the pair.
+	outerL := c.Loop(t.Outer)
+	v.Safe = true
+	oIdx := outerL.Depth - 1
+	iIdx := outerL.Depth
+	for _, d := range activeDeps(c.Deps.LoopDeps(outerL)) {
+		if len(d.Dirs) <= iIdx {
+			continue
+		}
+		if mayBe(d.Dirs[oIdx], dep.DirLt) && mayBe(d.Dirs[iIdx], dep.DirGt) {
+			v.Safe = false
+			v.note("interchange-preventing dependence: %s", d)
+		}
+	}
+	// Profitability: in column-major Fortran the innermost loop should
+	// run over the first subscript position for stride-1 access.
+	v.Profitable = strideProfit(c, t.Outer.Var, inner.Var)
+	if v.Profitable {
+		v.note("inner loop will access arrays stride-1 after interchange")
+	}
+	return v
+}
+
+// mayBe reports whether direction dir is included in the (possibly
+// summarized) direction d.
+func mayBe(d dep.Direction, dir dep.Direction) bool {
+	if d == dir || d == dep.DirStar {
+		return true
+	}
+	switch dir {
+	case dep.DirLt:
+		return d == dep.DirLe
+	case dep.DirGt:
+		return d == dep.DirGe
+	case dep.DirEq:
+		return d == dep.DirLe || d == dep.DirGe
+	}
+	return false
+}
+
+// strideProfit heuristically checks whether outerVar indexes the
+// first (column) dimension more often than innerVar — interchanging
+// then improves locality.
+func strideProfit(c *Context, outerVar, innerVar *fortran.Symbol) bool {
+	outerFirst, innerFirst := 0, 0
+	fortran.WalkStmts(c.Unit.Body, func(s fortran.Stmt) bool {
+		fortran.WalkExprs(s, func(e fortran.Expr) {
+			vr, ok := e.(*fortran.VarRef)
+			if !ok || len(vr.Subs) == 0 {
+				return
+			}
+			if refsVar(vr.Subs[0], outerVar) {
+				outerFirst++
+			}
+			if refsVar(vr.Subs[0], innerVar) {
+				innerFirst++
+			}
+		})
+		return true
+	})
+	return outerFirst > innerFirst
+}
+
+// Apply implements Transformation.
+func (t Interchange) Apply(c *Context) error {
+	inner := t.inner()
+	if inner == nil {
+		return fmt.Errorf("interchange: imperfect nest")
+	}
+	t.Outer.Var, inner.Var = inner.Var, t.Outer.Var
+	t.Outer.Lo, inner.Lo = inner.Lo, t.Outer.Lo
+	t.Outer.Hi, inner.Hi = inner.Hi, t.Outer.Hi
+	t.Outer.Step, inner.Step = inner.Step, t.Outer.Step
+	// Parallel marks were proven for the old loop order; carried
+	// levels move under interchange, so both loops revert to serial
+	// until re-proven.
+	for _, do := range []*fortran.DoStmt{t.Outer, inner} {
+		do.Parallel = false
+		do.Private = nil
+		do.Reductions = nil
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Reversal
+
+// Reverse runs the loop from its upper bound down to its lower bound.
+type Reverse struct {
+	Do *fortran.DoStmt
+}
+
+// Name implements Transformation.
+func (Reverse) Name() string { return "reverse" }
+
+// Check implements Transformation.
+func (t Reverse) Check(c *Context) Verdict {
+	v := Verdict{Applicable: true}
+	if staleLoop(c, t.Do, &v) {
+		return v
+	}
+	l := c.Loop(t.Do)
+	carried := activeDeps(c.Deps.CarriedAt(l))
+	v.Safe = len(carried) == 0
+	for _, d := range carried {
+		v.note("carried dependence prevents reversal: %s", d)
+	}
+	v.Profitable = false // reversal is an enabling step, not a win itself
+	return v
+}
+
+// Apply implements Transformation.
+func (t Reverse) Apply(c *Context) error {
+	step := t.Do.Step
+	if step == nil {
+		step = &fortran.IntLit{Val: 1}
+	}
+	t.Do.Lo, t.Do.Hi = t.Do.Hi, t.Do.Lo
+	t.Do.Step = expr.Fold(&fortran.Unary{Op: fortran.TokMinus, X: step})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Skew
+
+// Skew offsets the inner loop of a perfect pair by Factor times the
+// outer variable, changing iteration-space shape but not order.
+type Skew struct {
+	Outer  *fortran.DoStmt
+	Factor int64
+}
+
+// Name implements Transformation.
+func (Skew) Name() string { return "skew" }
+
+// Check implements Transformation.
+func (t Skew) Check(c *Context) Verdict {
+	var v Verdict
+	if t.Factor == 0 {
+		v.note("zero skew factor is the identity")
+		return v
+	}
+	inner, _ := func() (*fortran.DoStmt, bool) {
+		if len(t.Outer.Body) == 1 {
+			d, ok := t.Outer.Body[0].(*fortran.DoStmt)
+			return d, ok
+		}
+		return nil, false
+	}()
+	if inner == nil {
+		v.note("loop body is not a single nested DO")
+		return v
+	}
+	if inner.Step != nil || t.Outer.Step != nil {
+		v.note("skewing requires unit steps")
+		return v
+	}
+	v.Applicable = true
+	v.Safe = true // skewing never changes execution order
+	v.Profitable = false
+	v.note("enabling transformation (e.g. for wavefront parallelism after interchange)")
+	return v
+}
+
+// Apply implements Transformation.
+func (t Skew) Apply(c *Context) error {
+	inner := t.Outer.Body[0].(*fortran.DoStmt)
+	f := &fortran.IntLit{Val: t.Factor}
+	iRef := func() fortran.Expr {
+		return &fortran.VarRef{Sym: t.Outer.Var, Name: t.Outer.Var.Name}
+	}
+	offset := func(e fortran.Expr) fortran.Expr {
+		return expr.Fold(&fortran.Binary{Op: fortran.TokPlus, X: e,
+			Y: &fortran.Binary{Op: fortran.TokStar, X: f, Y: iRef()}})
+	}
+	inner.Lo = offset(inner.Lo)
+	inner.Hi = offset(inner.Hi)
+	// j (old) = j' - f*i inside the body.
+	repl := &fortran.Binary{Op: fortran.TokMinus,
+		X: &fortran.VarRef{Sym: inner.Var, Name: inner.Var.Name},
+		Y: &fortran.Binary{Op: fortran.TokStar, X: f, Y: iRef()}}
+	for _, s := range inner.Body {
+		fortran.SubstVarStmt(s, inner.Var, repl)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Strip mining
+
+// StripMine splits a loop into a strip-control loop and a strip loop
+// of Size iterations.
+type StripMine struct {
+	Do   *fortran.DoStmt
+	Size int64
+}
+
+// Name implements Transformation.
+func (StripMine) Name() string { return "strip-mine" }
+
+// Check implements Transformation.
+func (t StripMine) Check(c *Context) Verdict {
+	var v Verdict
+	if staleLoop(c, t.Do, &v) {
+		return v
+	}
+	if t.Size < 2 {
+		v.note("strip size must be at least 2")
+		return v
+	}
+	if t.Do.Step != nil {
+		v.note("strip mining requires unit step")
+		return v
+	}
+	v.Applicable = true
+	v.Safe = true // execution order unchanged
+	l := c.Loop(t.Do)
+	if trip, ok := c.DF.TripCount(l); ok && trip <= t.Size {
+		v.note("trip count %d not larger than strip size %d", trip, t.Size)
+		v.Profitable = false
+		return v
+	}
+	v.Profitable = true
+	return v
+}
+
+// Apply implements Transformation.
+func (t StripMine) Apply(c *Context) error {
+	u := c.Unit
+	ctrl := newScalar(u, t.Do.Var.Name+"s", fortran.TypeInteger)
+	ctrlRef := &fortran.VarRef{Sym: ctrl, Name: ctrl.Name}
+	inner := &fortran.DoStmt{
+		Var: t.Do.Var,
+		Lo:  ctrlRef,
+		Hi: &fortran.FuncCall{Name: "min", Args: []fortran.Expr{
+			&fortran.Binary{Op: fortran.TokMinus,
+				X: &fortran.Binary{Op: fortran.TokPlus, X: fortran.CloneExpr(ctrlRef), Y: &fortran.IntLit{Val: t.Size}},
+				Y: &fortran.IntLit{Val: 1}},
+			fortran.CloneExpr(t.Do.Hi),
+		}},
+		Body: t.Do.Body,
+	}
+	t.Do.Var = ctrl
+	t.Do.Step = &fortran.IntLit{Val: t.Size}
+	t.Do.Body = []fortran.Stmt{inner}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Unrolling
+
+// Unroll replicates the loop body Factor times; requires a constant
+// trip count (a remainder loop handles non-divisible counts).
+type Unroll struct {
+	Do     *fortran.DoStmt
+	Factor int64
+}
+
+// Name implements Transformation.
+func (Unroll) Name() string { return "unroll" }
+
+// Check implements Transformation.
+func (t Unroll) Check(c *Context) Verdict {
+	var v Verdict
+	if staleLoop(c, t.Do, &v) {
+		return v
+	}
+	if t.Factor < 2 {
+		v.note("unroll factor must be at least 2")
+		return v
+	}
+	if t.Do.Step != nil {
+		v.note("unrolling requires unit step")
+		return v
+	}
+	l := c.Loop(t.Do)
+	trip, ok := c.DF.TripCount(l)
+	if !ok {
+		v.note("trip count unknown")
+		return v
+	}
+	if hasExits(t.Do.Body) {
+		v.note("body contains control-flow exits")
+		return v
+	}
+	v.Applicable = true
+	v.Safe = true
+	v.Profitable = trip >= t.Factor*2
+	if trip%t.Factor != 0 {
+		v.note("remainder loop of %d iterations generated", trip%t.Factor)
+	}
+	return v
+}
+
+// Apply implements Transformation.
+func (t Unroll) Apply(c *Context) error {
+	l := c.Loop(t.Do)
+	trip, ok := c.DF.TripCount(l)
+	if !ok {
+		return fmt.Errorf("unroll: unknown trip count")
+	}
+	main := (trip / t.Factor) * t.Factor
+	var body []fortran.Stmt
+	for k := int64(0); k < t.Factor; k++ {
+		copyBody := fortran.CloneBody(t.Do.Body)
+		if k > 0 {
+			repl := &fortran.Binary{Op: fortran.TokPlus,
+				X: &fortran.VarRef{Sym: t.Do.Var, Name: t.Do.Var.Name},
+				Y: &fortran.IntLit{Val: k}}
+			for _, s := range copyBody {
+				fortran.SubstVarStmt(s, t.Do.Var, repl)
+			}
+		}
+		body = append(body, copyBody...)
+	}
+	var repl []fortran.Stmt
+	mainLoop := &fortran.DoStmt{
+		StmtBase: t.Do.StmtBase,
+		Var:      t.Do.Var,
+		Lo:       fortran.CloneExpr(t.Do.Lo),
+		Hi: expr.Fold(&fortran.Binary{Op: fortran.TokMinus,
+			X: &fortran.Binary{Op: fortran.TokPlus, X: fortran.CloneExpr(t.Do.Lo), Y: &fortran.IntLit{Val: main}},
+			Y: &fortran.IntLit{Val: 1}}),
+		Step: &fortran.IntLit{Val: t.Factor},
+		Body: body,
+	}
+	repl = append(repl, mainLoop)
+	if main < trip {
+		rem := &fortran.DoStmt{
+			Var: t.Do.Var,
+			Lo: expr.Fold(&fortran.Binary{Op: fortran.TokPlus,
+				X: fortran.CloneExpr(t.Do.Lo), Y: &fortran.IntLit{Val: main}}),
+			Hi:   fortran.CloneExpr(t.Do.Hi),
+			Body: fortran.CloneBody(t.Do.Body),
+		}
+		repl = append(repl, rem)
+	}
+	if !replaceStmt(c.Unit, t.Do, repl...) {
+		return fmt.Errorf("unroll: loop not found in unit")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Peeling
+
+// Peel extracts the first iteration of the loop, often removing a
+// wrap-around dependence or enabling fusion.
+type Peel struct {
+	Do *fortran.DoStmt
+}
+
+// Name implements Transformation.
+func (Peel) Name() string { return "peel" }
+
+// Check implements Transformation.
+func (t Peel) Check(c *Context) Verdict {
+	var v Verdict
+	if staleLoop(c, t.Do, &v) {
+		return v
+	}
+	if t.Do.Step != nil {
+		v.note("peeling requires unit step")
+		return v
+	}
+	if hasExits(t.Do.Body) {
+		v.note("body contains control-flow exits")
+		return v
+	}
+	v.Applicable = true
+	// Safe only when the loop provably executes at least once.
+	l := c.Loop(t.Do)
+	env := c.DF.EnvAt(t.Do)
+	loLin, ok1 := expr.Linearize(c.Unit, t.Do.Lo)
+	hiLin, ok2 := expr.Linearize(c.Unit, t.Do.Hi)
+	if ok1 && ok2 && env.ProveNonNegative(hiLin.Sub(loLin)) {
+		v.Safe = true
+	} else {
+		v.note("cannot prove the loop executes at least once")
+	}
+	_ = l
+	v.Profitable = false
+	v.note("enabling transformation")
+	return v
+}
+
+// Apply implements Transformation.
+func (t Peel) Apply(c *Context) error {
+	first := fortran.CloneBody(t.Do.Body)
+	for _, s := range first {
+		fortran.SubstVarStmt(s, t.Do.Var, t.Do.Lo)
+	}
+	rest := &fortran.DoStmt{
+		Var: t.Do.Var,
+		Lo: expr.Fold(&fortran.Binary{Op: fortran.TokPlus,
+			X: fortran.CloneExpr(t.Do.Lo), Y: &fortran.IntLit{Val: 1}}),
+		Hi:   t.Do.Hi,
+		Body: t.Do.Body,
+	}
+	repl := append(first, rest)
+	if !replaceStmt(c.Unit, t.Do, repl...) {
+		return fmt.Errorf("peel: loop not found in unit")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Unroll-and-jam
+
+// UnrollJam unrolls the outer loop of a perfect nest by Factor and
+// jams the copies into the inner loop body — the memory-hierarchy
+// transformation of the ParaScope compiler family (Carr's thesis,
+// cited as [8]): it increases inner-loop reuse without changing the
+// iteration order constraints beyond interchange legality.
+type UnrollJam struct {
+	Outer  *fortran.DoStmt
+	Factor int64
+}
+
+// Name implements Transformation.
+func (UnrollJam) Name() string { return "unroll-and-jam" }
+
+func (t UnrollJam) inner() *fortran.DoStmt {
+	if len(t.Outer.Body) != 1 {
+		return nil
+	}
+	inner, _ := t.Outer.Body[0].(*fortran.DoStmt)
+	return inner
+}
+
+// Check implements Transformation.
+func (t UnrollJam) Check(c *Context) Verdict {
+	var v Verdict
+	if staleLoop(c, t.Outer, &v) {
+		return v
+	}
+	if t.Factor < 2 {
+		v.note("factor must be at least 2")
+		return v
+	}
+	inner := t.inner()
+	if inner == nil {
+		v.note("loop body is not a single nested DO (imperfect nest)")
+		return v
+	}
+	if t.Outer.Step != nil {
+		v.note("requires unit outer step")
+		return v
+	}
+	if refsVar(inner.Lo, t.Outer.Var) || refsVar(inner.Hi, t.Outer.Var) {
+		v.note("inner bounds depend on %s", t.Outer.Var.Name)
+		return v
+	}
+	if hasExits(t.Outer.Body) {
+		v.note("body contains control-flow exits")
+		return v
+	}
+	l := c.Loop(t.Outer)
+	trip, ok := c.DF.TripCount(l)
+	if !ok {
+		v.note("outer trip count unknown")
+		return v
+	}
+	v.Applicable = true
+	// Jamming is legal exactly when interchange is: moving the
+	// unrolled copies inside the inner loop must not reverse any
+	// (outer <, inner >) dependence.
+	v.Safe = true
+	oIdx := l.Depth - 1
+	iIdx := l.Depth
+	for _, d := range activeDeps(c.Deps.LoopDeps(l)) {
+		if len(d.Dirs) <= iIdx {
+			continue
+		}
+		if mayBe(d.Dirs[oIdx], dep.DirLt) && mayBe(d.Dirs[iIdx], dep.DirGt) {
+			v.Safe = false
+			v.note("jam-preventing dependence: %s", d)
+		}
+	}
+	v.Profitable = trip >= t.Factor*2
+	if trip%t.Factor != 0 {
+		v.note("remainder nest of %d outer iterations generated", trip%t.Factor)
+	}
+	return v
+}
+
+// Apply implements Transformation.
+func (t UnrollJam) Apply(c *Context) error {
+	inner := t.inner()
+	if inner == nil {
+		return fmt.Errorf("unroll-and-jam: imperfect nest")
+	}
+	l := c.Loop(t.Outer)
+	trip, ok := c.DF.TripCount(l)
+	if !ok {
+		return fmt.Errorf("unroll-and-jam: unknown trip count")
+	}
+	main := (trip / t.Factor) * t.Factor
+	// Jammed inner body: Factor copies with outer var offset.
+	var jammed []fortran.Stmt
+	for k := int64(0); k < t.Factor; k++ {
+		cp := fortran.CloneBody(inner.Body)
+		if k > 0 {
+			repl := &fortran.Binary{Op: fortran.TokPlus,
+				X: &fortran.VarRef{Sym: t.Outer.Var, Name: t.Outer.Var.Name},
+				Y: &fortran.IntLit{Val: k}}
+			for _, s := range cp {
+				fortran.SubstVarStmt(s, t.Outer.Var, repl)
+			}
+		}
+		jammed = append(jammed, cp...)
+	}
+	var repl []fortran.Stmt
+	mainOuter := &fortran.DoStmt{
+		StmtBase: t.Outer.StmtBase,
+		Var:      t.Outer.Var,
+		Lo:       fortran.CloneExpr(t.Outer.Lo),
+		Hi: expr.Fold(&fortran.Binary{Op: fortran.TokMinus,
+			X: &fortran.Binary{Op: fortran.TokPlus, X: fortran.CloneExpr(t.Outer.Lo), Y: &fortran.IntLit{Val: main}},
+			Y: &fortran.IntLit{Val: 1}}),
+		Step: &fortran.IntLit{Val: t.Factor},
+		Body: []fortran.Stmt{&fortran.DoStmt{
+			Var:  inner.Var,
+			Lo:   fortran.CloneExpr(inner.Lo),
+			Hi:   fortran.CloneExpr(inner.Hi),
+			Step: cloneOrNil(inner.Step),
+			Body: jammed,
+		}},
+	}
+	repl = append(repl, mainOuter)
+	if main < trip {
+		rem := &fortran.DoStmt{
+			Var: t.Outer.Var,
+			Lo: expr.Fold(&fortran.Binary{Op: fortran.TokPlus,
+				X: fortran.CloneExpr(t.Outer.Lo), Y: &fortran.IntLit{Val: main}}),
+			Hi:   fortran.CloneExpr(t.Outer.Hi),
+			Body: fortran.CloneBody(t.Outer.Body),
+		}
+		repl = append(repl, rem)
+	}
+	if !replaceStmt(c.Unit, t.Outer, repl...) {
+		return fmt.Errorf("unroll-and-jam: loop not found in unit")
+	}
+	return nil
+}
+
+func cloneOrNil(e fortran.Expr) fortran.Expr {
+	if e == nil {
+		return nil
+	}
+	return fortran.CloneExpr(e)
+}
+
+// ---------------------------------------------------------------------------
+// Loop bounds adjustment (normalization)
+
+// Normalize rewrites a loop to run from 1 with unit step, adjusting
+// every use of the induction variable — the paper's "loop bounds
+// adjustment", an enabling step for fusion of loops with offset
+// bounds.
+type Normalize struct {
+	Do *fortran.DoStmt
+}
+
+// Name implements Transformation.
+func (Normalize) Name() string { return "normalize" }
+
+// Check implements Transformation.
+func (t Normalize) Check(c *Context) Verdict {
+	var v Verdict
+	if staleLoop(c, t.Do, &v) {
+		return v
+	}
+	lo, okLo := expr.Linearize(c.Unit, t.Do.Lo)
+	step := expr.Con(1)
+	okStep := true
+	if t.Do.Step != nil {
+		step, okStep = expr.Linearize(c.Unit, t.Do.Step)
+	}
+	if !okLo || !okStep {
+		v.note("bounds are not affine")
+		return v
+	}
+	if !step.IsConst() || step.Const <= 0 {
+		v.note("step must be a positive constant")
+		return v
+	}
+	if lo.IsConst() && lo.Const == 1 && step.Const == 1 {
+		v.note("loop is already normalized")
+		return v
+	}
+	v.Applicable = true
+	v.Safe = true // pure reindexing, same iteration sequence
+	v.Profitable = false
+	v.note("enabling transformation (e.g. for fusion)")
+	return v
+}
+
+// Apply implements Transformation.
+func (t Normalize) Apply(c *Context) error {
+	stepVal := int64(1)
+	if t.Do.Step != nil {
+		lin, ok := expr.Linearize(c.Unit, t.Do.Step)
+		if !ok || !lin.IsConst() || lin.Const <= 0 {
+			return fmt.Errorf("normalize: non-constant step")
+		}
+		stepVal = lin.Const
+	}
+	lo := fortran.CloneExpr(t.Do.Lo)
+	hi := fortran.CloneExpr(t.Do.Hi)
+	// New trip count: (hi - lo + step) / step, exact for the loops
+	// normalization accepts.
+	trip := &fortran.Binary{Op: fortran.TokSlash,
+		X: &fortran.Binary{Op: fortran.TokPlus,
+			X: &fortran.Binary{Op: fortran.TokMinus, X: hi, Y: fortran.CloneExpr(lo)},
+			Y: &fortran.IntLit{Val: stepVal}},
+		Y: &fortran.IntLit{Val: stepVal}}
+	// Old i = (i' - 1)*step + lo.
+	repl := &fortran.Binary{Op: fortran.TokPlus,
+		X: &fortran.Binary{Op: fortran.TokStar,
+			X: &fortran.Binary{Op: fortran.TokMinus,
+				X: &fortran.VarRef{Sym: t.Do.Var, Name: t.Do.Var.Name},
+				Y: &fortran.IntLit{Val: 1}},
+			Y: &fortran.IntLit{Val: stepVal}},
+		Y: lo}
+	for _, s := range t.Do.Body {
+		fortran.SubstVarStmt(s, t.Do.Var, repl)
+	}
+	t.Do.Lo = &fortran.IntLit{Val: 1}
+	t.Do.Hi = expr.Fold(trip)
+	t.Do.Step = nil
+	return nil
+}
+
+// privResultFor exposes privatizability for the variable pane.
+func privResultFor(c *Context, do *fortran.DoStmt, sym *fortran.Symbol) dataflow.PrivResult {
+	l := c.Loop(do)
+	if l == nil {
+		return dataflow.PrivResult{Reason: "no loop"}
+	}
+	return c.DF.Privatizable(l, sym)
+}

@@ -1,0 +1,194 @@
+package xform
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parascope/internal/fortran"
+	"parascope/internal/interp"
+)
+
+// TestTransformationSoundnessRandomized is the package's key
+// property test: generate random Fortran programs, enumerate
+// transformations the power-steering verdict declares applicable and
+// safe, apply each to a fresh copy, and verify by execution that the
+// program's output is unchanged (and that parallel execution of any
+// parallelized loops matches too). A verdict that lets a
+// semantics-changing rewrite through is a soundness bug.
+func TestTransformationSoundnessRandomized(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20260707))
+	const trials = 60
+	applied := map[string]int{}
+	for trial := 0; trial < trials; trial++ {
+		src := randomProgram(rnd)
+		ref, err := fortran.Parse("p.f", src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program does not parse: %v\n%s", trial, err, src)
+		}
+		want, err := interp.RunCapture(ref, 1, nil)
+		if err != nil {
+			t.Fatalf("trial %d: reference run failed: %v\n%s", trial, err, src)
+		}
+		for _, cand := range candidates(t, src) {
+			c := newCtx(t, src)
+			tr, ok := cand.build(c)
+			if !ok {
+				continue
+			}
+			v := tr.Check(c)
+			if !v.OK() {
+				continue
+			}
+			if err := tr.Apply(c); err != nil {
+				t.Errorf("trial %d: %s: verdict OK but Apply failed: %v\n%s", trial, tr.Name(), err, src)
+				continue
+			}
+			c.Refresh()
+			applied[tr.Name()]++
+			workers := 1
+			if tr.Name() == "parallelize" {
+				workers = 4
+			}
+			got, err := interp.RunCapture(c.File, workers, nil)
+			if err != nil {
+				t.Errorf("trial %d: %s: transformed program failed: %v\noriginal:\n%s\ntransformed:\n%s",
+					trial, tr.Name(), err, src, fortran.Print(c.File))
+				continue
+			}
+			if ok, why := interp.OutputsEquivalent(want, got, 1e-6); !ok {
+				t.Errorf("trial %d: %s CHANGED SEMANTICS (%s)\noriginal:\n%s\ntransformed:\n%s\nwant %q\ngot  %q",
+					trial, tr.Name(), why, src, fortran.Print(c.File), want, got)
+			}
+			// The rewritten program must also remain valid Fortran.
+			if _, err := fortran.Parse("rt.f", fortran.Print(c.File)); err != nil {
+				t.Errorf("trial %d: %s produced unparseable output: %v", trial, tr.Name(), err)
+			}
+		}
+	}
+	// The generator must actually exercise a spread of transformations.
+	for _, name := range []string{"parallelize", "distribute", "reverse", "peel", "unroll", "strip-mine", "fuse", "interchange", "normalize"} {
+		if applied[name] == 0 {
+			t.Errorf("randomized corpus never applied %s (applied: %v)", name, applied)
+		}
+	}
+}
+
+// candidate builds a transformation against a freshly parsed context
+// (loop indices stay valid because every candidate gets its own copy).
+type candidate struct {
+	build func(c *Context) (Transformation, bool)
+}
+
+func nthLoopDo(c *Context, n int) (*fortran.DoStmt, bool) {
+	if n >= len(c.DF.Tree.All) {
+		return nil, false
+	}
+	return c.DF.Tree.All[n].Do, true
+}
+
+func candidates(t *testing.T, src string) []candidate {
+	t.Helper()
+	// Count loops once to enumerate candidates.
+	probe, err := fortran.Parse("probe.f", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nLoops := 0
+	fortran.WalkStmts(probe.Units[0].Body, func(s fortran.Stmt) bool {
+		if _, ok := s.(*fortran.DoStmt); ok {
+			nLoops++
+		}
+		return true
+	})
+	var out []candidate
+	for i := 0; i < nLoops; i++ {
+		i := i
+		mk := func(f func(do *fortran.DoStmt) Transformation) candidate {
+			return candidate{build: func(c *Context) (Transformation, bool) {
+				do, ok := nthLoopDo(c, i)
+				if !ok {
+					return nil, false
+				}
+				return f(do), true
+			}}
+		}
+		out = append(out,
+			mk(func(do *fortran.DoStmt) Transformation { return Parallelize{Do: do} }),
+			mk(func(do *fortran.DoStmt) Transformation { return Reverse{Do: do} }),
+			mk(func(do *fortran.DoStmt) Transformation { return Peel{Do: do} }),
+			mk(func(do *fortran.DoStmt) Transformation { return Unroll{Do: do, Factor: 3} }),
+			mk(func(do *fortran.DoStmt) Transformation { return StripMine{Do: do, Size: 8} }),
+			mk(func(do *fortran.DoStmt) Transformation { return Distribute{Do: do} }),
+			mk(func(do *fortran.DoStmt) Transformation { return Interchange{Outer: do} }),
+			mk(func(do *fortran.DoStmt) Transformation { return Skew{Outer: do, Factor: 1} }),
+			mk(func(do *fortran.DoStmt) Transformation { return Normalize{Do: do} }),
+			mk(func(do *fortran.DoStmt) Transformation { return UnrollJam{Outer: do, Factor: 2} }),
+		)
+		if i+1 < nLoops {
+			j := i + 1
+			out = append(out, candidate{build: func(c *Context) (Transformation, bool) {
+				a, ok1 := nthLoopDo(c, i)
+				b, ok2 := nthLoopDo(c, j)
+				if !ok1 || !ok2 {
+					return nil, false
+				}
+				return Fuse{First: a, Second: b}, true
+			}})
+		}
+	}
+	return out
+}
+
+// randomProgram emits a self-checking Fortran program: array
+// initializations, a few random loop constructs over them, and
+// checksum prints.
+func randomProgram(rnd *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("      program rprog\n")
+	b.WriteString("      integer i, j, n\n")
+	b.WriteString("      parameter (n = 24)\n")
+	b.WriteString("      real a(24), b(24), c(24), m(24,24), s, t\n")
+	// Deterministic initialization.
+	b.WriteString("      do i = 1, n\n")
+	b.WriteString("         a(i) = 0.5 + 0.01*real(mod(i, 7))\n")
+	b.WriteString("         b(i) = 1.0 + 0.02*real(mod(i, 5))\n")
+	b.WriteString("         c(i) = 0.0\n")
+	b.WriteString("      enddo\n")
+	b.WriteString("      do i = 1, n\n")
+	b.WriteString("         do j = 1, n\n")
+	b.WriteString("            m(i,j) = 0.001*real(i + 2*j)\n")
+	b.WriteString("         enddo\n")
+	b.WriteString("      enddo\n")
+	b.WriteString("      s = 0.0\n")
+	nBlocks := 2 + rnd.Intn(3)
+	for k := 0; k < nBlocks; k++ {
+		switch rnd.Intn(6) {
+		case 0: // independent elementwise loop
+			fmt.Fprintf(&b, "      do i = 1, n\n         c(i) = a(i)*%0.2f + b(i)\n      enddo\n", 0.5+rnd.Float64())
+		case 1: // recurrence
+			fmt.Fprintf(&b, "      do i = 2, n\n         c(i) = c(i-1)*0.5 + a(i)\n      enddo\n")
+		case 2: // temp + reduction mix
+			b.WriteString("      do i = 1, n\n")
+			b.WriteString("         t = a(i) + b(i)\n")
+			b.WriteString("         c(i) = t*0.25\n")
+			b.WriteString("         s = s + t\n")
+			b.WriteString("      enddo\n")
+		case 3: // 2-d nest with a shifted read
+			di := rnd.Intn(2)
+			dj := rnd.Intn(2)
+			lo := 1 + di
+			fmt.Fprintf(&b, "      do i = %d, n\n         do j = %d, n\n            m(i,j) = m(i-%d,j-%d)*0.5 + 0.01\n         enddo\n      enddo\n",
+				lo, 1+dj, di, dj)
+		case 4: // forward-offset read (anti dep)
+			b.WriteString("      do i = 1, 23\n         a(i) = a(i+1)*0.9 + 0.05\n      enddo\n")
+		case 5: // two adjacent fusable loops
+			b.WriteString("      do i = 1, n\n         b(i) = b(i) + 0.1\n      enddo\n")
+			b.WriteString("      do i = 1, n\n         c(i) = c(i) + b(i)*0.2\n      enddo\n")
+		}
+	}
+	b.WriteString("      print *, s, c(1), c(12), c(24), a(7), m(12,12), m(24,24)\n")
+	b.WriteString("      end\n")
+	return b.String()
+}

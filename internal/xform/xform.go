@@ -1,0 +1,300 @@
+// Package xform implements ParaScope's interactive program
+// transformations under the power-steering paradigm: for each
+// transformation the system diagnoses whether it is applicable
+// (syntactically possible), safe (dependence-preserving) and
+// profitable, then carries out the mechanical rewriting; the user
+// supplies the judgement.
+package xform
+
+import (
+	"fmt"
+	"strings"
+
+	"parascope/internal/cfg"
+	"parascope/internal/dataflow"
+	"parascope/internal/dep"
+	"parascope/internal/expr"
+	"parascope/internal/fortran"
+)
+
+// Verdict is the power-steering diagnosis shown to the user before a
+// transformation is applied.
+type Verdict struct {
+	Applicable bool
+	Safe       bool
+	Profitable bool
+	Notes      []string
+}
+
+// OK reports whether the transformation may be applied (applicable
+// and safe; profitability is advisory).
+func (v Verdict) OK() bool { return v.Applicable && v.Safe }
+
+func (v Verdict) String() string {
+	status := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	s := fmt.Sprintf("applicable: %s, safe: %s, profitable: %s",
+		status(v.Applicable), status(v.Safe), status(v.Profitable))
+	if len(v.Notes) > 0 {
+		s += " — " + strings.Join(v.Notes, "; ")
+	}
+	return s
+}
+
+func (v *Verdict) note(format string, args ...interface{}) {
+	v.Notes = append(v.Notes, fmt.Sprintf(format, args...))
+}
+
+// Context carries the analysis state a transformation consults and
+// the ingredients needed to refresh it after a rewrite.
+type Context struct {
+	File *fortran.File
+	Unit *fortran.Unit
+	DF   *dataflow.Analysis
+	Deps *dep.Graph
+
+	Effects    dataflow.SideEffects
+	Assertions *expr.Env
+	Summaries  dep.Summaries
+	Opts       dep.Options
+}
+
+// NewContext analyzes unit and returns a ready context.
+func NewContext(file *fortran.File, unit *fortran.Unit, eff dataflow.SideEffects,
+	assertions *expr.Env, summ dep.Summaries, opts dep.Options) *Context {
+	c := &Context{File: file, Unit: unit, Effects: eff, Assertions: assertions,
+		Summaries: summ, Opts: opts}
+	c.Refresh()
+	return c
+}
+
+// Refresh re-runs analysis after the AST changed.
+func (c *Context) Refresh() {
+	c.File.RenumberStmts()
+	c.DF = dataflow.Analyze(c.Unit, c.Effects)
+	c.Deps = dep.Analyze(c.DF, c.Assertions, c.Summaries, c.Opts)
+}
+
+// Loop re-finds the loop wrapper for a DO statement after a refresh.
+func (c *Context) Loop(do *fortran.DoStmt) *cfg.Loop {
+	return c.DF.Tree.LoopOf(do)
+}
+
+// Transformation is one power-steering transformation instance,
+// parameterized at construction.
+type Transformation interface {
+	Name() string
+	Check(c *Context) Verdict
+	// Apply performs the rewrite. The caller must Refresh the
+	// context afterwards. Apply must only be called when Check
+	// reports OK.
+	Apply(c *Context) error
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+// staleLoop reports that the DO statement is not part of the current
+// analysis (it was removed or replaced by a prior transformation);
+// verdicts on stale targets are never applicable.
+func staleLoop(c *Context, do *fortran.DoStmt, v *Verdict) bool {
+	if c.Loop(do) == nil {
+		v.Applicable = false
+		v.note("the loop is no longer part of the program (stale selection)")
+		return true
+	}
+	return false
+}
+
+// replaceInBody replaces statement old with repl wherever it occurs,
+// returning the rewritten body and whether a replacement happened.
+func replaceInBody(body []fortran.Stmt, old fortran.Stmt, repl []fortran.Stmt) ([]fortran.Stmt, bool) {
+	for i, s := range body {
+		if s == old {
+			out := make([]fortran.Stmt, 0, len(body)-1+len(repl))
+			out = append(out, body[:i]...)
+			out = append(out, repl...)
+			out = append(out, body[i+1:]...)
+			return out, true
+		}
+		switch st := s.(type) {
+		case *fortran.IfStmt:
+			if nb, ok := replaceInBody(st.Then, old, repl); ok {
+				st.Then = nb
+				return body, true
+			}
+			if nb, ok := replaceInBody(st.Else, old, repl); ok {
+				st.Else = nb
+				return body, true
+			}
+		case *fortran.DoStmt:
+			if nb, ok := replaceInBody(st.Body, old, repl); ok {
+				st.Body = nb
+				return body, true
+			}
+		case *fortran.WhileStmt:
+			if nb, ok := replaceInBody(st.Body, old, repl); ok {
+				st.Body = nb
+				return body, true
+			}
+		}
+	}
+	return body, false
+}
+
+// replaceStmt replaces old with repl in the unit, reporting success.
+func replaceStmt(u *fortran.Unit, old fortran.Stmt, repl ...fortran.Stmt) bool {
+	nb, ok := replaceInBody(u.Body, old, repl)
+	if ok {
+		u.Body = nb
+	}
+	return ok
+}
+
+// parentBody finds the statement list directly containing s, along
+// with s's index in it.
+func parentBody(u *fortran.Unit, s fortran.Stmt) ([]fortran.Stmt, int) {
+	var find func(body []fortran.Stmt) ([]fortran.Stmt, int)
+	find = func(body []fortran.Stmt) ([]fortran.Stmt, int) {
+		for i, x := range body {
+			if x == s {
+				return body, i
+			}
+			switch st := x.(type) {
+			case *fortran.IfStmt:
+				if b, j := find(st.Then); b != nil {
+					return b, j
+				}
+				if b, j := find(st.Else); b != nil {
+					return b, j
+				}
+			case *fortran.DoStmt:
+				if b, j := find(st.Body); b != nil {
+					return b, j
+				}
+			case *fortran.WhileStmt:
+				if b, j := find(st.Body); b != nil {
+					return b, j
+				}
+			}
+		}
+		return nil, -1
+	}
+	return find(u.Body)
+}
+
+// newScalar adds a fresh integer/real scalar to the unit, deriving
+// its name from base.
+func newScalar(u *fortran.Unit, base string, t fortran.Type) *fortran.Symbol {
+	name := base
+	for i := 1; ; i++ {
+		if _, exists := u.Syms[name]; !exists {
+			break
+		}
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	sym := &fortran.Symbol{Name: name, Kind: fortran.SymScalar, Type: t, Unit: u}
+	u.Syms[name] = sym
+	return sym
+}
+
+// newArray adds a fresh 1-d array of extent n to the unit.
+func newArray(u *fortran.Unit, base string, t fortran.Type, n int64) *fortran.Symbol {
+	name := base
+	for i := 1; ; i++ {
+		if _, exists := u.Syms[name]; !exists {
+			break
+		}
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	sym := &fortran.Symbol{
+		Name: name, Kind: fortran.SymArray, Type: t, Unit: u,
+		Dims: []fortran.Dimension{{Lo: &fortran.IntLit{Val: 1}, Hi: &fortran.IntLit{Val: n}}},
+	}
+	u.Syms[name] = sym
+	return sym
+}
+
+// sameBounds reports whether two loops have provably identical
+// bounds and step.
+func sameBounds(u *fortran.Unit, a, b *fortran.DoStmt) bool {
+	eq := func(x, y fortran.Expr) bool {
+		if x == nil && y == nil {
+			return true
+		}
+		if x == nil {
+			x = &fortran.IntLit{Val: 1}
+		}
+		if y == nil {
+			y = &fortran.IntLit{Val: 1}
+		}
+		lx, okx := expr.Linearize(u, x)
+		ly, oky := expr.Linearize(u, y)
+		return okx && oky && lx.Equal(ly)
+	}
+	return eq(a.Lo, b.Lo) && eq(a.Hi, b.Hi) && eq(a.Step, b.Step)
+}
+
+// activeDeps filters out rejected, control and input dependences.
+func activeDeps(deps []*dep.Dependence) []*dep.Dependence {
+	var out []*dep.Dependence
+	for _, d := range deps {
+		if d.Mark == dep.MarkRejected {
+			continue
+		}
+		if d.Class == dep.ClassControl || d.Class == dep.ClassInput {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// refsVar reports whether expression e references sym.
+func refsVar(e fortran.Expr, sym *fortran.Symbol) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	var walk func(fortran.Expr)
+	walk = func(e fortran.Expr) {
+		switch x := e.(type) {
+		case *fortran.VarRef:
+			if x.Sym == sym {
+				found = true
+			}
+			for _, s := range x.Subs {
+				walk(s)
+			}
+		case *fortran.FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *fortran.Unary:
+			walk(x.X)
+		case *fortran.Binary:
+			walk(x.X)
+			walk(x.Y)
+		}
+	}
+	walk(e)
+	return found
+}
+
+// hasExits reports whether the body contains RETURN, STOP or GOTO —
+// statements that disqualify restructuring transformations.
+func hasExits(body []fortran.Stmt) bool {
+	found := false
+	fortran.WalkStmts(body, func(s fortran.Stmt) bool {
+		switch s.(type) {
+		case *fortran.ReturnStmt, *fortran.StopStmt, *fortran.GotoStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

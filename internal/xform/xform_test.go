@@ -1,0 +1,895 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"parascope/internal/dep"
+	"parascope/internal/fortran"
+	"parascope/internal/interp"
+)
+
+func newCtx(t *testing.T, src string) *Context {
+	t.Helper()
+	f, err := fortran.Parse("t.f", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return NewContext(f, f.Units[0], nil, nil, nil, dep.DefaultOptions())
+}
+
+func firstLoop(t *testing.T, c *Context) *fortran.DoStmt {
+	t.Helper()
+	if len(c.DF.Tree.All) == 0 {
+		t.Fatal("no loops")
+	}
+	return c.DF.Tree.All[0].Do
+}
+
+// reparse round-trips the transformed unit through the parser to make
+// sure every rewrite emits valid Fortran.
+func reparse(t *testing.T, c *Context) {
+	t.Helper()
+	printed := fortran.Print(c.File)
+	if _, err := fortran.Parse("rt.f", printed); err != nil {
+		t.Fatalf("transformed program does not reparse: %v\n%s", err, printed)
+	}
+}
+
+func TestParallelizeCleanLoop(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100), b(100)
+      do i = 1, 100
+         a(i) = b(i)*2.0
+      enddo
+      end
+`)
+	do := firstLoop(t, c)
+	tr := Parallelize{Do: do}
+	v := tr.Check(c)
+	if !v.OK() || !v.Profitable {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if !do.Parallel {
+		t.Error("loop not marked parallel")
+	}
+	if len(do.Private) != 1 || do.Private[0].Name != "i" {
+		t.Errorf("private = %v, want [i]", do.Private)
+	}
+	reparse(t, c)
+	if !strings.Contains(fortran.Print(c.File), "c$par doall") {
+		t.Error("printed output missing doall annotation")
+	}
+}
+
+func TestParallelizeBlockedByRecurrence(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 2, 100
+         a(i) = a(i-1) + 1.0
+      enddo
+      end
+`)
+	tr := Parallelize{Do: firstLoop(t, c)}
+	v := tr.Check(c)
+	if v.Safe {
+		t.Fatalf("recurrence must block parallelization: %s", v)
+	}
+}
+
+func TestParallelizeWithPrivatizationAndReduction(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real t, s, a(100), b(100)
+      s = 0.0
+      do i = 1, 100
+         t = a(i)*2.0
+         b(i) = t + 1.0
+         s = s + t
+      enddo
+      print *, s
+      end
+`)
+	do := firstLoop(t, c)
+	tr := Parallelize{Do: do}
+	v := tr.Check(c)
+	if !v.Safe {
+		t.Fatalf("privatization+reduction should make this safe: %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range do.Private {
+		names[p.Name] = true
+	}
+	if !names["t"] || !names["i"] {
+		t.Errorf("private = %v, want t and i", do.Private)
+	}
+	if len(do.Reductions) != 1 || do.Reductions[0].Sym.Name != "s" {
+		t.Errorf("reductions = %v", do.Reductions)
+	}
+}
+
+func TestSerialize(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 1, 100
+         a(i) = 1.0
+      enddo
+      end
+`)
+	do := firstLoop(t, c)
+	p := Parallelize{Do: do}
+	if err := p.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	s := Serialize{Do: do}
+	if v := s.Check(c); !v.OK() {
+		t.Fatalf("serialize should be allowed: %s", v)
+	}
+	if err := s.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if do.Parallel || do.Private != nil {
+		t.Error("serialize did not clear parallel state")
+	}
+}
+
+func TestInterchange(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(100,100)
+      do j = 1, 100
+         do i = 1, 100
+            a(j,i) = 1.0
+         enddo
+      enddo
+      end
+`)
+	outer := firstLoop(t, c)
+	tr := Interchange{Outer: outer}
+	v := tr.Check(c)
+	if !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	// a(j,i): after interchange, inner var j indexes dim 1: stride-1.
+	if !v.Profitable {
+		t.Errorf("interchange should be profitable for locality: %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	if outer.Var.Name != "i" {
+		t.Errorf("outer var = %s, want i", outer.Var.Name)
+	}
+	inner := outer.Body[0].(*fortran.DoStmt)
+	if inner.Var.Name != "j" {
+		t.Errorf("inner var = %s, want j", inner.Var.Name)
+	}
+	reparse(t, c)
+}
+
+func TestInterchangeUnsafe(t *testing.T) {
+	// (<,>) direction: interchange illegal.
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(100,100)
+      do i = 2, 100
+         do j = 1, 99
+            a(i,j) = a(i-1,j+1)
+         enddo
+      enddo
+      end
+`)
+	tr := Interchange{Outer: firstLoop(t, c)}
+	v := tr.Check(c)
+	if !v.Applicable {
+		t.Fatalf("should be applicable: %s", v)
+	}
+	if v.Safe {
+		t.Fatalf("(<,>) dependence must block interchange: %s", v)
+	}
+}
+
+func TestInterchangeTriangularNotApplicable(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(100,100)
+      do i = 1, 100
+         do j = i, 100
+            a(i,j) = 1.0
+         enddo
+      enddo
+      end
+`)
+	tr := Interchange{Outer: firstLoop(t, c)}
+	if v := tr.Check(c); v.Applicable {
+		t.Fatalf("triangular nest must not be applicable: %s", v)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 1, 100
+         a(i) = 1.0
+      enddo
+      end
+`)
+	do := firstLoop(t, c)
+	tr := Reverse{Do: do}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	if got := fortran.StmtText(do); got != "do i = 100, 1, -1" {
+		t.Errorf("header = %q", got)
+	}
+	reparse(t, c)
+}
+
+func TestReverseUnsafeWithRecurrence(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 2, 100
+         a(i) = a(i-1)
+      enddo
+      end
+`)
+	tr := Reverse{Do: firstLoop(t, c)}
+	if v := tr.Check(c); v.Safe {
+		t.Fatalf("recurrence must block reversal: %s", v)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(100,100)
+      do i = 1, 50
+         do j = 1, 50
+            a(i,j) = a(i,j) + 1.0
+         enddo
+      enddo
+      end
+`)
+	outer := firstLoop(t, c)
+	tr := Skew{Outer: outer, Factor: 1}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	inner := outer.Body[0].(*fortran.DoStmt)
+	if got := fortran.StmtText(inner); !strings.Contains(got, "1 + 1*i") && !strings.Contains(got, "1 + i") {
+		t.Errorf("skewed inner header = %q", got)
+	}
+	// Body references must compensate: a(i, j - i).
+	as := inner.Body[0].(*fortran.AssignStmt)
+	if !strings.Contains(as.Lhs.String(), "-") {
+		t.Errorf("skewed subscript = %q, want j - f*i form", as.Lhs.String())
+	}
+	reparse(t, c)
+}
+
+func TestStripMine(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 1, 100
+         a(i) = 1.0
+      enddo
+      end
+`)
+	do := firstLoop(t, c)
+	tr := StripMine{Do: do, Size: 16}
+	if v := tr.Check(c); !v.OK() || !v.Profitable {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	if do.Var.Name != "is" {
+		t.Errorf("control var = %s, want is", do.Var.Name)
+	}
+	inner, ok := do.Body[0].(*fortran.DoStmt)
+	if !ok || inner.Var.Name != "i" {
+		t.Fatalf("inner loop missing: %v", do.Body[0])
+	}
+	if !strings.Contains(fortran.StmtText(inner), "min(") {
+		t.Errorf("inner bound = %q, want min(...)", fortran.StmtText(inner))
+	}
+	reparse(t, c)
+}
+
+func TestUnrollDivisible(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100), s
+      s = 0.0
+      do i = 1, 100
+         a(i) = 2.0
+      enddo
+      end
+`)
+	do := c.DF.Tree.All[0].Do
+	tr := Unroll{Do: do, Factor: 4}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	// One loop with 4 statements, step 4, no remainder.
+	loops := c.DF.Tree.All
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1 (no remainder)", len(loops))
+	}
+	if len(loops[0].Do.Body) != 4 {
+		t.Errorf("unrolled body = %d stmts, want 4", len(loops[0].Do.Body))
+	}
+	reparse(t, c)
+}
+
+func TestUnrollWithRemainder(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(103)
+      do i = 1, 103
+         a(i) = 2.0
+      enddo
+      end
+`)
+	do := firstLoop(t, c)
+	tr := Unroll{Do: do, Factor: 4}
+	v := tr.Check(c)
+	if !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	if len(c.DF.Tree.All) != 2 {
+		t.Fatalf("got %d loops, want main + remainder", len(c.DF.Tree.All))
+	}
+	reparse(t, c)
+}
+
+func TestPeel(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100)
+      do i = 1, 100
+         a(i) = 3.0
+      enddo
+      end
+`)
+	do := firstLoop(t, c)
+	tr := Peel{Do: do}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	u := c.Unit
+	as, ok := u.Body[0].(*fortran.AssignStmt)
+	if !ok || as.Lhs.String() != "a(1)" {
+		t.Fatalf("peeled stmt = %v, want a(1) = 3.0", u.Body[0])
+	}
+	if got := fortran.StmtText(c.DF.Tree.All[0].Do); got != "do i = 2, 100" {
+		t.Errorf("rest loop = %q", got)
+	}
+	reparse(t, c)
+}
+
+func TestDistribute(t *testing.T) {
+	// s1 feeds s2 loop-independently; s3 is a recurrence. SCCs:
+	// {s1}, {s2}, {s3} — distribution yields 3 loops, the first two
+	// parallelizable.
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100), b(100), c(100)
+      do i = 2, 100
+         a(i) = 1.0
+         b(i) = a(i)*2.0
+         c(i) = c(i-1) + 1.0
+      enddo
+      end
+`)
+	do := firstLoop(t, c)
+	tr := Distribute{Do: do}
+	v := tr.Check(c)
+	if !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	if len(c.DF.Tree.Roots) != 3 {
+		t.Fatalf("got %d loops after distribution, want 3", len(c.DF.Tree.Roots))
+	}
+	// The a/b loops must now parallelize; the c loop must not.
+	okCount := 0
+	for _, l := range c.DF.Tree.Roots {
+		v := (Parallelize{Do: l.Do}).Check(c)
+		if v.Safe {
+			okCount++
+		}
+	}
+	if okCount != 2 {
+		t.Errorf("%d of 3 distributed loops parallelizable, want 2", okCount)
+	}
+	reparse(t, c)
+}
+
+func TestDistributeKeepsRecurrenceTogether(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(100), b(100)
+      do i = 2, 100
+         a(i) = b(i-1) + 1.0
+         b(i) = a(i)*2.0
+      enddo
+      end
+`)
+	tr := Distribute{Do: firstLoop(t, c)}
+	if v := tr.Check(c); v.Applicable {
+		t.Fatalf("mutual recurrence is one SCC; distribution must not apply: %s", v)
+	}
+}
+
+func TestFuse(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(100), b(100)
+      do i = 1, 100
+         a(i) = 1.0
+      enddo
+      do j = 1, 100
+         b(j) = a(j)*2.0
+      enddo
+      end
+`)
+	l1 := c.DF.Tree.Roots[0].Do
+	l2 := c.DF.Tree.Roots[1].Do
+	tr := Fuse{First: l1, Second: l2}
+	v := tr.Check(c)
+	if !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	if len(c.DF.Tree.Roots) != 1 {
+		t.Fatalf("got %d loops after fusion, want 1", len(c.DF.Tree.Roots))
+	}
+	fused := c.DF.Tree.Roots[0]
+	if len(fused.Do.Body) != 2 {
+		t.Errorf("fused body = %d stmts, want 2", len(fused.Do.Body))
+	}
+	// b(j) became b(i).
+	as := fused.Do.Body[1].(*fortran.AssignStmt)
+	if as.Lhs.String() != "b(i)" {
+		t.Errorf("second stmt lhs = %q, want b(i)", as.Lhs.String())
+	}
+	// Fused loop still parallelizable (dep is loop-independent).
+	if pv := (Parallelize{Do: fused.Do}).Check(c); !pv.Safe {
+		t.Errorf("fused loop should stay parallel: %s", pv)
+	}
+	reparse(t, c)
+}
+
+func TestFusePrevented(t *testing.T) {
+	// The first loop writes a(i); the second reads a(j+1), i.e. the
+	// value the first loop produced one iteration ahead. Fused,
+	// iteration i would read a(i+1) before iteration i+1 writes it —
+	// a backward carried dependence.
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(101), b(100), c(100)
+      do i = 1, 100
+         a(i) = b(i) + 1.0
+      enddo
+      do j = 1, 100
+         c(j) = a(j+1)*2.0
+      enddo
+      end
+`)
+	l1 := c.DF.Tree.Roots[0].Do
+	l2 := c.DF.Tree.Roots[1].Do
+	tr := Fuse{First: l1, Second: l2}
+	v := tr.Check(c)
+	if !v.Applicable {
+		t.Fatalf("should be applicable: %s", v)
+	}
+	if v.Safe {
+		t.Fatalf("fusion-preventing dependence missed: %s", v)
+	}
+}
+
+func TestFuseBoundsMismatch(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(100), b(100)
+      do i = 1, 100
+         a(i) = 1.0
+      enddo
+      do j = 1, 99
+         b(j) = 2.0
+      enddo
+      end
+`)
+	tr := Fuse{First: c.DF.Tree.Roots[0].Do, Second: c.DF.Tree.Roots[1].Do}
+	if v := tr.Check(c); v.Applicable {
+		t.Fatalf("different bounds must not be applicable: %s", v)
+	}
+}
+
+func TestStmtInterchange(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      real x, y
+      x = 1.0
+      y = 2.0
+      end
+`)
+	s1, s2 := c.Unit.Body[0], c.Unit.Body[1]
+	tr := StmtInterchange{First: s1, Second: s2}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	if c.Unit.Body[0] != s2 || c.Unit.Body[1] != s1 {
+		t.Error("statements not swapped")
+	}
+}
+
+func TestStmtInterchangeUnsafe(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      real x, y
+      x = 1.0
+      y = x*2.0
+      end
+`)
+	tr := StmtInterchange{First: c.Unit.Body[0], Second: c.Unit.Body[1]}
+	if v := tr.Check(c); v.Safe {
+		t.Fatalf("flow dependence must block the swap: %s", v)
+	}
+}
+
+func TestPrivatize(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real t, a(100), b(100)
+      do i = 1, 100
+         t = a(i)
+         b(i) = t*2.0
+      enddo
+      end
+`)
+	do := firstLoop(t, c)
+	sym := c.Unit.Lookup("t")
+	tr := Privatize{Do: do, Sym: sym}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(do.Private) != 1 || do.Private[0] != sym {
+		t.Errorf("private = %v", do.Private)
+	}
+}
+
+func TestScalarExpand(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real t, a(100), b(100)
+      do i = 1, 100
+         t = a(i)*2.0
+         b(i) = t + 1.0
+      enddo
+      print *, t
+      end
+`)
+	do := firstLoop(t, c)
+	sym := c.Unit.Lookup("t")
+	tr := ScalarExpand{Do: do, Sym: sym}
+	v := tr.Check(c)
+	if !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	// t replaced by tx(i - 1 + 1) in the body.
+	as := do.Body[0].(*fortran.AssignStmt)
+	if !strings.HasPrefix(as.Lhs.String(), "tx(") {
+		t.Errorf("expanded lhs = %q", as.Lhs.String())
+	}
+	// Last-value store inserted after the loop (t live at print).
+	found := false
+	for _, s := range c.Unit.Body {
+		if a, ok := s.(*fortran.AssignStmt); ok && a.Lhs.String() == "t" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing last-value copy-out")
+	}
+	// The loop should now parallelize.
+	if pv := (Parallelize{Do: do}).Check(c); !pv.Safe {
+		t.Errorf("expanded loop should parallelize: %s", pv)
+	}
+	reparse(t, c)
+}
+
+func TestRecognizeReductions(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real s, a(100)
+      s = 0.0
+      do i = 1, 100
+         s = s + a(i)
+      enddo
+      print *, s
+      end
+`)
+	do := firstLoop(t, c)
+	tr := RecognizeReductions{Do: do}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(do.Reductions) != 1 || do.Reductions[0].Sym.Name != "s" {
+		t.Errorf("reductions = %v", do.Reductions)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	src := `
+      program main
+      integer i
+      real a(100), s
+      s = 0.0
+      do i = 5, 99, 2
+         a(i) = real(i)
+         s = s + a(i)
+      enddo
+      print *, s, a(5), a(99)
+      end
+`
+	c := newCtx(t, src)
+	ref := fortran.MustParse("ref.f", src)
+	do := firstLoop(t, c)
+	tr := Normalize{Do: do}
+	if v := tr.Check(c); !v.OK() {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	if got := fortran.StmtText(do); got != "do i = 1, 48" {
+		t.Errorf("normalized header = %q, want do i = 1, 48", got)
+	}
+	// Semantics preserved under execution.
+	want, err := interp.RunCapture(ref, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := interp.RunCapture(c.File, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := interp.OutputsEquivalent(want, got, 1e-9); !ok {
+		t.Errorf("normalize changed output: %s\nwant %q got %q", why, want, got)
+	}
+	reparse(t, c)
+}
+
+func TestNormalizeEnablesFusion(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(100), b(100)
+      do i = 1, 50
+         a(i) = 1.0
+      enddo
+      do j = 51, 100
+         b(j) = 2.0
+      enddo
+      end
+`)
+	l1 := c.DF.Tree.Roots[0].Do
+	l2 := c.DF.Tree.Roots[1].Do
+	// Different bounds: fusion not applicable.
+	if v := (Fuse{First: l1, Second: l2}).Check(c); v.Applicable {
+		t.Fatal("fusion should need normalization first")
+	}
+	if err := (Normalize{Do: l2}).Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	v := (Fuse{First: l1, Second: l2}).Check(c)
+	if !v.OK() {
+		t.Fatalf("after normalization fusion should work: %s", v)
+	}
+}
+
+func TestNormalizeAlreadyNormal(t *testing.T) {
+	c := newCtx(t, `
+      program main
+      integer i
+      real a(10)
+      do i = 1, 10
+         a(i) = 1.0
+      enddo
+      end
+`)
+	if v := (Normalize{Do: firstLoop(t, c)}).Check(c); v.Applicable {
+		t.Fatalf("already-normal loop: %s", v)
+	}
+}
+
+func TestUnrollJam(t *testing.T) {
+	src := `
+      program main
+      integer i, j
+      real a(40,40), s
+      s = 0.0
+      do j = 1, 40
+         do i = 1, 40
+            a(i,j) = real(i + j)*0.1
+         enddo
+      enddo
+      do j = 1, 40
+         do i = 1, 40
+            s = s + a(i,j)
+         enddo
+      enddo
+      print *, s, a(7,9)
+      end
+`
+	c := newCtx(t, src)
+	ref := fortran.MustParse("ref.f", src)
+	outer := c.DF.Tree.Roots[0].Do
+	tr := UnrollJam{Outer: outer, Factor: 4}
+	v := tr.Check(c)
+	if !v.OK() || !v.Profitable {
+		t.Fatalf("verdict = %s", v)
+	}
+	if err := tr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	// Outer now steps by 4 with a jammed inner body of 4 statements.
+	nest := c.DF.Tree.Roots[0]
+	if got := fortran.StmtText(nest.Do); got != "do j = 1, 40, 4" {
+		t.Errorf("outer header = %q", got)
+	}
+	jammedInner := nest.Do.Body[0].(*fortran.DoStmt)
+	if len(jammedInner.Body) != 4 {
+		t.Errorf("jammed body = %d stmts, want 4", len(jammedInner.Body))
+	}
+	// Semantics preserved.
+	want, err := interp.RunCapture(ref, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := interp.RunCapture(c.File, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := interp.OutputsEquivalent(want, got, 1e-6); !ok {
+		t.Errorf("unroll-and-jam changed output: %s", why)
+	}
+	reparse(t, c)
+}
+
+func TestUnrollJamRemainder(t *testing.T) {
+	src := `
+      program main
+      integer i, j
+      real a(10,10), s
+      s = 0.0
+      do j = 1, 10
+         do i = 1, 10
+            a(i,j) = real(i*j)*0.01
+         enddo
+      enddo
+      do j = 1, 10
+         do i = 1, 10
+            s = s + a(i,j)
+         enddo
+      enddo
+      print *, s
+      end
+`
+	c := newCtx(t, src)
+	ref := fortran.MustParse("ref.f", src)
+	outer := c.DF.Tree.Roots[0].Do
+	if err := (UnrollJam{Outer: outer, Factor: 3}).Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Refresh()
+	want, _ := interp.RunCapture(ref, 1, nil)
+	got, err := interp.RunCapture(c.File, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := interp.OutputsEquivalent(want, got, 1e-6); !ok {
+		t.Errorf("remainder handling wrong: %s", why)
+	}
+}
+
+func TestUnrollJamUnsafe(t *testing.T) {
+	// (<,>) dependence: jamming would read values before they are
+	// written.
+	c := newCtx(t, `
+      program main
+      integer i, j
+      real a(40,40)
+      do i = 2, 40
+         do j = 1, 39
+            a(i,j) = a(i-1,j+1)
+         enddo
+      enddo
+      end
+`)
+	outer := c.DF.Tree.Roots[0].Do
+	if v := (UnrollJam{Outer: outer, Factor: 2}).Check(c); v.Safe {
+		t.Fatalf("(<,>) dep must block unroll-and-jam: %s", v)
+	}
+}
