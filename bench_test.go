@@ -5,6 +5,8 @@ package parascope
 
 import (
 	"fmt"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"parascope/internal/core"
@@ -13,6 +15,7 @@ import (
 	"parascope/internal/experiments"
 	"parascope/internal/fortran"
 	"parascope/internal/interp"
+	"parascope/internal/server"
 	"parascope/internal/workloads"
 )
 
@@ -183,6 +186,102 @@ func BenchmarkParser(b *testing.B) {
 		if _, err := fortran.Parse("big.f", src); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnalysisCache compares a cold session open (parse + full
+// analysis + artifact build every time) against a warm open served
+// from the content-hash cache. The warm path must be measurably
+// faster: it hashes the source and hands back prebuilt artifacts.
+func BenchmarkAnalysisCache(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		m := server.NewManager(server.Config{}) // cache disabled
+		defer m.Shutdown()
+		for i := 0; i < b.N; i++ {
+			_, resp, err := m.Open(server.OpenRequest{Workload: "spec77"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Cached {
+				b.Fatal("cold open reported a cache hit")
+			}
+			m.Close(resp.ID)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		m := server.NewManager(server.Config{CacheSize: 8})
+		defer m.Shutdown()
+		_, prime, err := m.Open(server.OpenRequest{Workload: "spec77"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Close(prime.ID)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, resp, err := m.Open(server.OpenRequest{Workload: "spec77"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("warm open missed the cache")
+			}
+			m.Close(resp.ID)
+		}
+	})
+}
+
+// BenchmarkServerThroughput measures complete pedd session round-trips
+// per second — open, select a loop, fetch dependences, close — over
+// real HTTP at 1, 4, and 16 concurrent clients.
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
+			m := server.NewManager(server.Config{CacheSize: 16})
+			defer m.Shutdown()
+			ts := httptest.NewServer(server.New(m))
+			defer ts.Close()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errCh := make(chan error, clients)
+			per := b.N / clients
+			extra := b.N % clients
+			for g := 0; g < clients; g++ {
+				n := per
+				if g < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					c := server.NewClient(ts.URL)
+					for i := 0; i < n; i++ {
+						open, err := c.Open(server.OpenRequest{Workload: "direct"})
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if _, err := c.Select(open.ID, server.SelectRequest{Loop: 1}); err != nil {
+							errCh <- err
+							return
+						}
+						if _, err := c.Deps(open.ID, server.DepQuery{}); err != nil {
+							errCh <- err
+							return
+						}
+						if err := c.CloseSession(open.ID); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		})
 	}
 }
 

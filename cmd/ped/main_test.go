@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parascope/internal/server"
+)
+
+// buildPed compiles the ped binary once per test binary run.
+func buildPed(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ped")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runPed(t *testing.T, bin string, stdin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("run ped: %v", err)
+		}
+		code = exitErr.ExitCode()
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// TestExitCodeOnUnreadableFile: a missing input file must exit
+// non-zero, not print-and-exit-0.
+func TestExitCodeOnUnreadableFile(t *testing.T) {
+	bin := buildPed(t)
+	_, stderr, code := runPed(t, bin, "", "no-such-file.f")
+	if code == 0 {
+		t.Fatalf("missing file exited 0 (stderr %q)", stderr)
+	}
+	if !strings.Contains(stderr, "no-such-file.f") {
+		t.Fatalf("stderr %q does not name the file", stderr)
+	}
+}
+
+// TestExitCodeOnParseError: an unparseable program must exit
+// non-zero with the parse diagnostic on stderr.
+func TestExitCodeOnParseError(t *testing.T) {
+	bin := buildPed(t)
+	bad := filepath.Join(t.TempDir(), "bad.f")
+	if err := writeFile(bad, "      this is not fortran at all\n"); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runPed(t, bin, "", bad)
+	if code == 0 {
+		t.Fatal("parse error exited 0")
+	}
+	if !strings.Contains(stderr, "ped:") {
+		t.Fatalf("stderr %q missing diagnostic", stderr)
+	}
+}
+
+// TestExitCodeOnFailedBatchCommand: in -batch mode a failed command
+// (here an analysis-level error: unknown loop) must propagate a
+// non-zero exit code.
+func TestExitCodeOnFailedBatchCommand(t *testing.T) {
+	bin := buildPed(t)
+	stdout, _, code := runPed(t, bin, "loop 999\nquit\n", "-batch", "-workload", "direct")
+	if code == 0 {
+		t.Fatal("failed batch command exited 0")
+	}
+	if !strings.Contains(stdout, "error:") {
+		t.Fatalf("stdout %q missing error report", stdout)
+	}
+}
+
+// TestExitCodeCleanBatchScript: a successful script still exits 0.
+func TestExitCodeCleanBatchScript(t *testing.T) {
+	bin := buildPed(t)
+	stdout, stderr, code := runPed(t, bin, "loops\nloop 1\ndeps\nquit\n", "-batch", "-workload", "direct")
+	if code != 0 {
+		t.Fatalf("clean script exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, "error:") {
+		t.Fatalf("clean script reported errors: %s", stdout)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestRemoteMode drives the ped binary against an in-process pedd:
+// the full client → HTTP → session-manager → actor → REPL path.
+func TestRemoteMode(t *testing.T) {
+	bin := buildPed(t)
+	mgr := server.NewManager(server.Config{CacheSize: 8})
+	defer mgr.Shutdown()
+	ts := httptest.NewServer(server.New(mgr))
+	defer ts.Close()
+
+	stdout, stderr, code := runPed(t, bin, "loops\nloop 1\ndeps\nquit\n",
+		"-remote", ts.URL, "-batch", "-workload", "direct")
+	if code != 0 {
+		t.Fatalf("remote script exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "do ") {
+		t.Fatalf("remote loops output missing: %s", stdout)
+	}
+	// Session closed on exit.
+	if n := len(mgr.List()); n != 0 {
+		t.Fatalf("%d sessions leaked after remote ped exit", n)
+	}
+
+	// Failing remote command propagates the exit code in batch mode.
+	stdout, _, code = runPed(t, bin, "loop 999\nquit\n",
+		"-remote", ts.URL, "-batch", "-workload", "direct")
+	if code == 0 {
+		t.Fatal("failed remote command exited 0")
+	}
+	if !strings.Contains(stdout, "error:") {
+		t.Fatalf("remote error not reported: %s", stdout)
+	}
+}

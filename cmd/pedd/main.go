@@ -1,0 +1,64 @@
+// Command pedd is the ParaScope Editor daemon: it hosts many
+// concurrent editor sessions behind an HTTP/JSON API so thin clients
+// (ped -remote, curl, editors) get sub-second dependence analysis
+// without running the analyses themselves. Sessions are serialized on
+// per-session actor goroutines, evicted after an idle TTL, and opens
+// of already-analyzed source are served from a content-hash cache.
+//
+// Usage:
+//
+//	pedd                      # listen on :7473
+//	pedd -addr :8080 -ttl 10m -cache 256 -workers 4
+//
+// Then:
+//
+//	curl -s localhost:7473/v1/sessions -d '{"workload":"arc3d"}'
+//	curl -s localhost:7473/v1/sessions/s1/cmd -d '{"line":"loops"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parascope/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7473", "listen address")
+	ttl := flag.Duration("ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
+	cacheSize := flag.Int("cache", 128, "analysis cache capacity in programs (0 disables)")
+	workers := flag.Int("workers", 0, "per-open analysis worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	mgr := server.NewManager(server.Config{
+		TTL:       *ttl,
+		CacheSize: *cacheSize,
+		Workers:   *workers,
+	})
+	srv := &http.Server{Addr: *addr, Handler: server.New(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("pedd: listening on %s (ttl %s, cache %d)", *addr, *ttl, *cacheSize)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "pedd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("pedd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+	mgr.Shutdown()
+}

@@ -1,0 +1,81 @@
+// Parallel per-unit analysis driver and the content-hash key used by
+// the analysis cache in internal/server. Program units are
+// independent once the interprocedural summaries are built: the
+// per-unit pass only reads the shared Program, the pre-warmed perf
+// estimator, and its own unit's AST, so units fan out safely across a
+// bounded worker pool.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"parascope/internal/dep"
+	"parascope/internal/fortran"
+)
+
+// analyzeUnits runs analyzeUnit over every unit, concurrently when
+// more than one worker is available. old carries the previous states
+// so user marks, assertions and classifications survive reanalysis.
+func (s *Session) analyzeUnits(units []*fortran.Unit, old map[*fortran.Unit]*UnitState) map[*fortran.Unit]*UnitState {
+	out := make(map[*fortran.Unit]*UnitState, len(units))
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			out[u] = s.analyzeUnit(u, old[u])
+		}
+		return out
+	}
+	results := make([]*UnitState, len(units))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = s.analyzeUnit(units[i], old[units[i]])
+			}
+		}()
+	}
+	for i := range units {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, u := range units {
+		out[u] = results[i]
+	}
+	return out
+}
+
+// OpenWorkers parses src and builds a session whose whole-program
+// analysis fan-out is capped at workers goroutines (0 = GOMAXPROCS) —
+// the entry point the pedd server uses so a daemon hosting many
+// sessions can bound its per-open analysis parallelism.
+func OpenWorkers(path, src string, workers int) (*Session, error) {
+	f, err := fortran.Parse(path, src)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(f, workers), nil
+}
+
+// AnalysisKey returns a stable content-hash key for the analysis of
+// (path, src) under the given options — the cache key used by the
+// pedd server: identical inputs produce identical analysis artifacts,
+// so a key hit can skip the parse and reanalysis entirely.
+func AnalysisKey(path, src string, opts dep.Options, conservative bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%+v\x00%t", path, src, opts, conservative)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -94,6 +94,9 @@ type Session struct {
 	// Kill, sections, constants), treating every call as touching
 	// everything — the ablation baseline of the analysis experiments.
 	Conservative bool
+	// Workers bounds the per-unit analysis worker pool used by
+	// AnalyzeAll; 0 means GOMAXPROCS.
+	Workers int
 
 	units   map[*fortran.Unit]*UnitState
 	current *fortran.Unit
@@ -107,7 +110,17 @@ type Session struct {
 	undoStack []string // printed sources
 	// Counters for the evaluation tables.
 	Stats SessionStats
+	// mutated is set by any action that changes the program or the
+	// analysis inputs (edits, transformations, marks, assertions,
+	// reclassifications, undo) — the server's cache uses it to tell
+	// pristine sessions from dirtied ones.
+	mutated bool
 }
+
+// Mutated reports whether any program- or analysis-changing action
+// has been applied since the session opened. Selection and navigation
+// do not count.
+func (s *Session) Mutated() bool { return s.mutated }
 
 // SessionStats counts user interactions, matching the actions the
 // paper's evaluation reports (deleted dependences, assertions,
@@ -132,11 +145,14 @@ func Open(path, src string) (*Session, error) {
 }
 
 // NewSession builds a session over an already-parsed file.
-func NewSession(f *fortran.File) *Session {
+func NewSession(f *fortran.File) *Session { return newSession(f, 0) }
+
+func newSession(f *fortran.File, workers int) *Session {
 	s := &Session{
-		File:  f,
-		Opts:  dep.DefaultOptions(),
-		units: map[*fortran.Unit]*UnitState{},
+		File:    f,
+		Opts:    dep.DefaultOptions(),
+		units:   map[*fortran.Unit]*UnitState{},
+		Workers: workers,
 	}
 	s.Stats.Transformations = map[string]int{}
 	s.AnalyzeAll()
@@ -150,17 +166,19 @@ func NewSession(f *fortran.File) *Session {
 
 // AnalyzeAll (re)runs whole-program analysis: interprocedural
 // summaries, then per-unit data-flow, dependence and performance
-// analysis.
+// analysis. The per-unit phase runs on a bounded worker pool (see
+// Workers): units are independent once the interprocedural summaries
+// exist, so they are analyzed concurrently.
 func (s *Session) AnalyzeAll() {
 	s.File.RenumberStmts()
 	s.Prog = interproc.AnalyzeProgram(s.File)
 	s.est = perf.New(s.File, perf.DefaultParams())
-	old := s.units
-	s.units = map[*fortran.Unit]*UnitState{}
+	// Pre-warm the estimator's per-unit cost memo while still single-
+	// threaded: EstimateUnit reads it from every worker below.
 	for _, u := range s.File.Units {
-		prev := old[u]
-		s.units[u] = s.analyzeUnit(u, prev)
+		s.est.UnitCost(u)
 	}
+	s.units = s.analyzeUnits(s.File.Units, s.units)
 }
 
 // ReanalyzeUnit refreshes only one unit — the editor's incremental
@@ -372,6 +390,7 @@ func (s *Session) MarkDep(id int, m dep.Mark) error {
 	}
 	d.Mark = m
 	st.marks[keyOf(d)] = m
+	s.mutated = true
 	switch m {
 	case dep.MarkRejected:
 		s.Stats.DepsRejected++
@@ -479,6 +498,7 @@ func (s *Session) Assert(text string) error {
 	st := s.State()
 	st.assertions = append(st.assertions, a)
 	s.Stats.Assertions++
+	s.mutated = true
 	s.log("assert %s", a)
 	s.ReanalyzeUnit(u)
 	return nil
@@ -547,6 +567,7 @@ func (s *Session) Classify(varName string, c VarClass) error {
 	}
 	s.State().classes[sym.Name] = c
 	s.Stats.Reclassifications++
+	s.mutated = true
 	s.log("classify %s %s", sym.Name, c)
 	return nil
 }
@@ -620,6 +641,7 @@ func (s *Session) Transform(t xform.Transformation) (xform.Verdict, error) {
 		s.undoStack = s.undoStack[:len(s.undoStack)-1]
 		return v, err
 	}
+	s.mutated = true
 	s.Stats.Transformations[t.Name()]++
 	if t.Name() == "parallelize" {
 		s.Stats.LoopsParallelized++
@@ -667,6 +689,7 @@ func (s *Session) EditStmt(id int, text string) error {
 		return fmt.Errorf("statement %d is not in unit %s", id, s.current.Name)
 	}
 	s.Stats.Edits++
+	s.mutated = true
 	s.log("edit stmt %d: %s", id, strings.TrimSpace(text))
 	s.ReanalyzeUnit(s.current)
 	return nil
@@ -684,6 +707,7 @@ func (s *Session) DeleteStmt(id int) error {
 		return fmt.Errorf("statement %d is not in unit %s", id, s.current.Name)
 	}
 	s.Stats.Edits++
+	s.mutated = true
 	s.log("delete stmt %d", id)
 	s.ReanalyzeUnit(s.current)
 	return nil
@@ -787,6 +811,7 @@ func (s *Session) Undo() error {
 	} else if main := f.Main(); main != nil {
 		s.current = main
 	}
+	s.mutated = true
 	s.log("undo")
 	return nil
 }

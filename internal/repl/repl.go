@@ -28,6 +28,9 @@ type REPL struct {
 	Out     io.Writer
 	// Done is set by the quit command.
 	Done bool
+	// Errors counts failed commands, so batch drivers can propagate
+	// a non-zero exit code.
+	Errors int
 }
 
 // New creates a REPL over an open session.
@@ -44,6 +47,7 @@ func (r *REPL) Run(in io.Reader) error {
 			continue
 		}
 		if err := r.Execute(line); err != nil {
+			r.Errors++
 			fmt.Fprintf(r.Out, "error: %v\n", err)
 		}
 	}
@@ -519,6 +523,10 @@ func parseDepFilter(args []string) (core.DepFilter, error) {
 	}
 	return f, nil
 }
+
+// HelpText returns the command summary (also served by pedd for
+// artifact-backed remote sessions).
+func HelpText() string { return helpText }
 
 const helpText = `commands:
   units | unit <name> | callgraph        program navigation

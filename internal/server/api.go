@@ -1,0 +1,136 @@
+// Package server hosts many concurrent ParaScope Editor sessions
+// behind an HTTP/JSON API — the pedd daemon. It wraps core.Session in
+// a session manager (create/attach/expire with TTL eviction), keeps
+// the untouched core data-race-free by confining every session to a
+// single actor goroutine, and caches analysis artifacts by content
+// hash so reopening an unchanged program is a map hit instead of a
+// reparse and reanalysis.
+package server
+
+// OpenRequest creates a session: either over a built-in workload by
+// name, or over raw source text with its display path.
+type OpenRequest struct {
+	Workload string `json:"workload,omitempty"`
+	Path     string `json:"path,omitempty"`
+	Source   string `json:"source,omitempty"`
+}
+
+// OpenResponse describes the created session.
+type OpenResponse struct {
+	ID    string   `json:"id"`
+	Path  string   `json:"path"`
+	Units []string `json:"units"`
+	// Cached reports a content-hash cache hit: the session opened
+	// from stored artifacts without reparsing or reanalyzing.
+	Cached bool `json:"cached"`
+}
+
+// SessionInfo is one row of the session listing.
+type SessionInfo struct {
+	ID   string `json:"id"`
+	Path string `json:"path"`
+	// Live reports whether a full core.Session has been materialized;
+	// cache-hit sessions stay artifact-backed until a mutating or
+	// unsupported command arrives.
+	Live bool `json:"live"`
+	// Mutated reports whether the session has changed the program or
+	// the analysis inputs since opening.
+	Mutated     bool    `json:"mutated"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+// CmdRequest runs one REPL command line in the session.
+type CmdRequest struct {
+	Line string `json:"line"`
+}
+
+// CmdResponse carries the command's output; Err is the command-level
+// error text (the HTTP status stays 200 — the request itself worked).
+type CmdResponse struct {
+	Output string `json:"output"`
+	Err    string `json:"error,omitempty"`
+}
+
+// SelectRequest switches the current unit and/or selects a loop
+// (1-based, source order). Zero values leave the dimension unchanged.
+type SelectRequest struct {
+	Unit string `json:"unit,omitempty"`
+	Loop int    `json:"loop,omitempty"`
+}
+
+// SelectResponse reports the selection and the per-class dependence
+// summary of the selected loop.
+type SelectResponse struct {
+	Unit    string `json:"unit"`
+	Loop    int    `json:"loop"`
+	Summary string `json:"summary"`
+}
+
+// DepInfo is one dependence of the selected loop.
+type DepInfo struct {
+	ID      int    `json:"id"`
+	Class   string `json:"class"`
+	Sym     string `json:"sym"`
+	Dir     string `json:"dir"`
+	Level   int    `json:"level"`
+	SrcStmt int    `json:"src_stmt"`
+	DstStmt int    `json:"dst_stmt"`
+	SrcLine int    `json:"src_line"`
+	DstLine int    `json:"dst_line"`
+	Mark    string `json:"mark"`
+	Reason  string `json:"reason,omitempty"`
+	// Private reports that the variable is classified other than
+	// shared for the carrying loop (privatizable, reduction, or
+	// induction) — the hideprivate filter drops these.
+	Private bool `json:"private"`
+}
+
+// DepQuery filters the dependence listing (mirrors `deps` filters).
+type DepQuery struct {
+	Carried      bool
+	HideRejected bool
+	HidePrivate  bool
+	Sym          string
+	Classes      []string
+}
+
+// DepsResponse lists the selected loop's dependences after filtering.
+type DepsResponse struct {
+	Unit string    `json:"unit"`
+	Loop int       `json:"loop"`
+	Deps []DepInfo `json:"deps"`
+}
+
+// ClassifyRequest overrides a variable's classification.
+type ClassifyRequest struct {
+	Var   string `json:"var"`
+	Class string `json:"class"`
+}
+
+// TransformRequest checks or applies a power-steering transformation;
+// Args follow the REPL syntax (loop numbers, factors, variable
+// names). CheckOnly diagnoses without applying.
+type TransformRequest struct {
+	Name      string   `json:"name"`
+	Args      []string `json:"args,omitempty"`
+	CheckOnly bool     `json:"check_only,omitempty"`
+}
+
+// EditRequest replaces (or with Delete, removes) a statement by ID.
+type EditRequest struct {
+	Stmt   int    `json:"stmt"`
+	Text   string `json:"text,omitempty"`
+	Delete bool   `json:"delete,omitempty"`
+}
+
+// CacheStatsResponse reports the analysis cache counters.
+type CacheStatsResponse struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client drives a pedd daemon over HTTP — the transport behind
+// `ped -remote` and the server benchmarks.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://localhost:7473".
+	Base string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request; out (when non-nil) receives the decoded 2xx
+// body, and non-2xx bodies become errors.
+func (c *Client) do(method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s", e.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Open creates a session.
+func (c *Client) Open(req OpenRequest) (OpenResponse, error) {
+	var resp OpenResponse
+	err := c.do(http.MethodPost, "/v1/sessions", req, &resp)
+	return resp, err
+}
+
+// List enumerates the live sessions.
+func (c *Client) List() ([]SessionInfo, error) {
+	var resp []SessionInfo
+	err := c.do(http.MethodGet, "/v1/sessions", nil, &resp)
+	return resp, err
+}
+
+// CloseSession deletes a session.
+func (c *Client) CloseSession(id string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Cmd runs one REPL command line in the session.
+func (c *Client) Cmd(id, line string) (CmdResponse, error) {
+	var resp CmdResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/cmd", CmdRequest{Line: line}, &resp)
+	return resp, err
+}
+
+// Select switches unit and/or loop.
+func (c *Client) Select(id string, req SelectRequest) (SelectResponse, error) {
+	var resp SelectResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/select", req, &resp)
+	return resp, err
+}
+
+// Deps fetches the selected loop's dependences.
+func (c *Client) Deps(id string, q DepQuery) (DepsResponse, error) {
+	v := url.Values{}
+	if q.Carried {
+		v.Set("carried", "1")
+	}
+	if q.HideRejected {
+		v.Set("hiderejected", "1")
+	}
+	if q.HidePrivate {
+		v.Set("hideprivate", "1")
+	}
+	if q.Sym != "" {
+		v.Set("sym", q.Sym)
+	}
+	for _, cl := range q.Classes {
+		v.Add("class", cl)
+	}
+	path := "/v1/sessions/" + url.PathEscape(id) + "/deps"
+	if len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	var resp DepsResponse
+	err := c.do(http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// Classify overrides a variable's classification.
+func (c *Client) Classify(id string, req ClassifyRequest) error {
+	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/classify", req, nil)
+}
+
+// Transform checks or applies a transformation.
+func (c *Client) Transform(id string, req TransformRequest) (CmdResponse, error) {
+	var resp CmdResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/transform", req, &resp)
+	return resp, err
+}
+
+// Edit replaces or deletes a statement.
+func (c *Client) Edit(id string, req EditRequest) error {
+	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/edit", req, nil)
+}
+
+// Undo reverts the last change.
+func (c *Client) Undo(id string) error {
+	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/undo", nil, nil)
+}
+
+// CacheStats fetches the daemon's analysis cache counters.
+func (c *Client) CacheStats() (CacheStatsResponse, error) {
+	var resp CacheStatsResponse
+	err := c.do(http.MethodGet, "/v1/cache", nil, &resp)
+	return resp, err
+}

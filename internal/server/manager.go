@@ -1,0 +1,211 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"parascope/internal/core"
+	"parascope/internal/dep"
+	"parascope/internal/workloads"
+)
+
+// Config tunes the session manager.
+type Config struct {
+	// TTL evicts sessions idle longer than this; 0 disables eviction.
+	TTL time.Duration
+	// SweepEvery is the janitor period; defaulted from TTL.
+	SweepEvery time.Duration
+	// CacheSize bounds the analysis cache (entries); 0 disables it.
+	CacheSize int
+	// Workers caps the per-open analysis worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Manager owns the live sessions and the analysis cache.
+type Manager struct {
+	cfg   Config
+	cache *Cache
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewManager creates a manager and starts its TTL janitor (if TTL is
+// set). Call Shutdown to stop it and close every session.
+func NewManager(cfg Config) *Manager {
+	m := &Manager{
+		cfg:      cfg,
+		sessions: map[string]*Session{},
+		stop:     make(chan struct{}),
+	}
+	if cfg.CacheSize > 0 {
+		m.cache = NewCache(cfg.CacheSize)
+	}
+	if cfg.TTL > 0 {
+		every := cfg.SweepEvery
+		if every <= 0 {
+			every = cfg.TTL / 4
+			if every < time.Second {
+				every = time.Second
+			}
+			if every > time.Minute {
+				every = time.Minute
+			}
+		}
+		m.wg.Add(1)
+		go m.janitor(every)
+	}
+	return m
+}
+
+func (m *Manager) janitor(every time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.Sweep()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// Open resolves the request (workload name or raw source), consults
+// the content-hash cache, and registers a new session. On a hit the
+// session opens artifact-backed — no parse, no analysis. On a miss it
+// analyzes cold, stores the artifacts, and opens live.
+func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
+	var resp OpenResponse
+	path, source := req.Path, req.Source
+	if req.Workload != "" {
+		w := workloads.ByName(req.Workload)
+		if w == nil {
+			return nil, resp, fmt.Errorf("unknown workload %q", req.Workload)
+		}
+		path, source = w.Name+".f", w.Source
+	}
+	if source == "" {
+		return nil, resp, fmt.Errorf("open needs a workload name or source text")
+	}
+	if path == "" {
+		path = "input.f"
+	}
+	key := core.AnalysisKey(path, source, dep.DefaultOptions(), false)
+	art := m.cache.Get(key)
+	cached := art != nil
+	var live *core.Session
+	var units []string
+	if art != nil {
+		units = art.UnitNames()
+	} else {
+		cs, err := core.OpenWorkers(path, source, m.cfg.Workers)
+		if err != nil {
+			return nil, resp, err
+		}
+		live = cs
+		for _, u := range cs.File.Units {
+			units = append(units, u.Name)
+		}
+		if m.cache != nil {
+			art = BuildArtifacts(key, cs)
+			m.cache.Put(art)
+		}
+	}
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("s%d", m.seq)
+	ss := newSession(id, path, source, art, live, m.cfg.Workers)
+	m.sessions[id] = ss
+	m.mu.Unlock()
+	resp = OpenResponse{ID: id, Path: path, Units: units, Cached: cached}
+	return ss, resp, nil
+}
+
+// Get returns a session by ID, or nil.
+func (m *Manager) Get(id string) *Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessions[id]
+}
+
+// List snapshots every session, ordered by ID.
+func (m *Manager) List() []SessionInfo {
+	m.mu.Lock()
+	all := make([]*Session, 0, len(m.sessions))
+	for _, ss := range m.sessions {
+		all = append(all, ss)
+	}
+	m.mu.Unlock()
+	out := make([]SessionInfo, 0, len(all))
+	for _, ss := range all {
+		out = append(out, ss.Info())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Close removes and stops a session.
+func (m *Manager) Close(id string) bool {
+	m.mu.Lock()
+	ss := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if ss == nil {
+		return false
+	}
+	ss.close()
+	return true
+}
+
+// Sweep evicts every session idle past the TTL, returning how many.
+func (m *Manager) Sweep() int {
+	if m.cfg.TTL <= 0 {
+		return 0
+	}
+	var expired []*Session
+	m.mu.Lock()
+	for id, ss := range m.sessions {
+		if ss.Idle() > m.cfg.TTL {
+			delete(m.sessions, id)
+			expired = append(expired, ss)
+		}
+	}
+	m.mu.Unlock()
+	for _, ss := range expired {
+		ss.close()
+	}
+	return len(expired)
+}
+
+// CacheStats reports the analysis cache counters.
+func (m *Manager) CacheStats() CacheStatsResponse { return m.cache.Stats() }
+
+// Shutdown stops the janitor and closes every session.
+func (m *Manager) Shutdown() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+	m.mu.Lock()
+	all := make([]*Session, 0, len(m.sessions))
+	for id, ss := range m.sessions {
+		all = append(all, ss)
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	for _, ss := range all {
+		ss.close()
+	}
+}

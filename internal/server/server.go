@@ -1,0 +1,211 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Server is the HTTP front of a Manager. Routes (all JSON):
+//
+//	GET    /healthz                      liveness
+//	GET    /v1/cache                     analysis cache counters
+//	POST   /v1/sessions                  open (workload | path+source)
+//	GET    /v1/sessions                  list
+//	DELETE /v1/sessions/{id}             close
+//	POST   /v1/sessions/{id}/cmd         run one REPL command line
+//	POST   /v1/sessions/{id}/select      select unit and/or loop
+//	GET    /v1/sessions/{id}/deps        dependence listing (filters
+//	                                     via query params)
+//	POST   /v1/sessions/{id}/classify    reclassify a variable
+//	POST   /v1/sessions/{id}/transform   check/apply a transformation
+//	POST   /v1/sessions/{id}/edit        edit or delete a statement
+//	POST   /v1/sessions/{id}/undo        undo the last change
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// New wires the routes over a manager.
+func New(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, mgr.CacheStats())
+	})
+	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
+	s.mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, mgr.List())
+	})
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !mgr.Close(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, errors.New("no such session"))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	s.mux.HandleFunc("POST /v1/sessions/{id}/cmd", s.session(s.handleCmd))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/select", s.session(s.handleSelect))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/deps", s.session(s.handleDeps))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/classify", s.session(s.handleClassify))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/transform", s.session(s.handleTransform))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/edit", s.session(s.handleEdit))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/undo", s.session(s.handleUndo))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// session resolves {id} before running the handler.
+func (s *Server) session(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ss := s.mgr.Get(r.PathValue("id"))
+		if ss == nil {
+			writeError(w, http.StatusNotFound, errors.New("no such session"))
+			return
+		}
+		h(w, r, ss)
+	}
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req OpenRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	_, resp, err := s.mgr.Open(req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleCmd(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req CmdRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := ss.Cmd(req.Line)
+	if err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req SelectRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := ss.Select(req)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeps(w http.ResponseWriter, r *http.Request, ss *Session) {
+	q := r.URL.Query()
+	dq := DepQuery{
+		Carried:      boolParam(q.Get("carried")),
+		HideRejected: boolParam(q.Get("hiderejected")),
+		HidePrivate:  boolParam(q.Get("hideprivate")),
+		Sym:          q.Get("sym"),
+	}
+	for _, c := range q["class"] {
+		for _, part := range strings.Split(c, ",") {
+			if part != "" {
+				dq.Classes = append(dq.Classes, part)
+			}
+		}
+	}
+	resp, err := ss.Deps(dq)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req ClassifyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := ss.Classify(req); err != nil {
+		writeOpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req TransformRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := ss.Transform(req)
+	if err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req EditRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := ss.Edit(req); err != nil {
+		writeOpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUndo(w http.ResponseWriter, r *http.Request, ss *Session) {
+	if err := ss.Undo(); err != nil {
+		writeOpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func boolParam(v string) bool { return v == "1" || strings.EqualFold(v, "true") }
+
+func readJSON(w http.ResponseWriter, r *http.Request, into interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeOpError maps a session-operation error to a status: closed
+// sessions are gone, everything else is a command-level rejection.
+func writeOpError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrSessionClosed) {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, err)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parascope/internal/core"
+	"parascope/internal/repl"
+	"parascope/internal/view"
+)
+
+// ErrSessionClosed is returned for requests against a session that
+// was closed or evicted.
+var ErrSessionClosed = errors.New("session closed")
+
+// Session is one hosted editor session. All editor state is confined
+// to a single actor goroutine: requests are posted as closures on
+// reqCh and executed one at a time, so concurrent HTTP requests
+// against the same session serialize and the untouched core stays
+// data-race-free.
+//
+// A session opened on a cache hit starts artifact-backed (art != nil,
+// live == nil): read-only commands are answered from the immutable
+// artifacts without ever parsing the source. The first mutating or
+// unsupported command materializes a live core.Session by reparsing
+// and reanalyzing, then replays the selection.
+type Session struct {
+	ID     string
+	path   string
+	source string
+
+	created  time.Time
+	lastUsed atomic.Int64 // unix nanos
+
+	reqCh   chan task
+	closeMu sync.RWMutex
+	closed  bool
+
+	// workers caps the analysis pool of the materialized session.
+	workers int
+
+	// Actor-confined state below: only the run() goroutine touches it.
+	art     *Artifacts
+	curUnit int
+	curLoop int
+	live    *core.Session
+	rep     *repl.REPL
+}
+
+type task struct {
+	fn    func()
+	touch bool
+}
+
+func newSession(id, path, source string, art *Artifacts, live *core.Session, workers int) *Session {
+	ss := &Session{
+		ID:      id,
+		path:    path,
+		source:  source,
+		created: time.Now(),
+		reqCh:   make(chan task),
+		workers: workers,
+	}
+	ss.lastUsed.Store(time.Now().UnixNano())
+	if live != nil {
+		ss.live = live
+		ss.rep = repl.New(live, io.Discard)
+	} else {
+		ss.art = art
+		ss.curUnit = art.DefaultUnit
+	}
+	go ss.run()
+	return ss
+}
+
+func (ss *Session) run() {
+	for t := range ss.reqCh {
+		t.fn()
+		if t.touch {
+			ss.lastUsed.Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// post runs fn on the actor goroutine and waits for it to finish.
+func (ss *Session) post(fn func(), touch bool) error {
+	ss.closeMu.RLock()
+	if ss.closed {
+		ss.closeMu.RUnlock()
+		return ErrSessionClosed
+	}
+	done := make(chan struct{})
+	ss.reqCh <- task{fn: func() { defer close(done); fn() }, touch: touch}
+	ss.closeMu.RUnlock()
+	<-done
+	return nil
+}
+
+// close stops the actor; queued requests still drain first.
+func (ss *Session) close() {
+	ss.closeMu.Lock()
+	if !ss.closed {
+		ss.closed = true
+		close(ss.reqCh)
+	}
+	ss.closeMu.Unlock()
+}
+
+// Idle reports how long the session has gone without a request.
+func (ss *Session) Idle() time.Duration {
+	return time.Since(time.Unix(0, ss.lastUsed.Load()))
+}
+
+// Info snapshots the session for the listing (does not reset idle).
+func (ss *Session) Info() SessionInfo {
+	info := SessionInfo{ID: ss.ID, Path: ss.path, IdleSeconds: ss.Idle().Seconds()}
+	err := ss.post(func() {
+		info.Live = ss.live != nil
+		if ss.live != nil {
+			info.Mutated = ss.live.Mutated()
+		}
+	}, false)
+	if err != nil {
+		return SessionInfo{ID: ss.ID, Path: ss.path}
+	}
+	return info
+}
+
+// ---------------------------------------------------------------------------
+// Public operations (each runs inside the actor)
+
+// Cmd executes one REPL command line. The returned error is only
+// ErrSessionClosed; command-level failures ride in CmdResponse.Err.
+func (ss *Session) Cmd(line string) (CmdResponse, error) {
+	var resp CmdResponse
+	err := ss.post(func() {
+		out, cmdErr := ss.exec(line)
+		resp.Output = out
+		if cmdErr != nil {
+			resp.Err = cmdErr.Error()
+		}
+	}, true)
+	return resp, err
+}
+
+// Select switches unit and/or loop.
+func (ss *Session) Select(req SelectRequest) (SelectResponse, error) {
+	var resp SelectResponse
+	var opErr error
+	if err := ss.post(func() { resp, opErr = ss.doSelect(req) }, true); err != nil {
+		return resp, err
+	}
+	return resp, opErr
+}
+
+// Deps lists the selected loop's dependences after filtering.
+func (ss *Session) Deps(q DepQuery) (DepsResponse, error) {
+	var resp DepsResponse
+	if err := ss.post(func() { resp = ss.doDeps(q) }, true); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// Classify overrides a variable's classification (materializes).
+func (ss *Session) Classify(req ClassifyRequest) error {
+	var c core.VarClass
+	switch strings.ToLower(req.Class) {
+	case "shared":
+		c = core.ClassShared
+	case "private":
+		c = core.ClassPrivate
+	case "reduction":
+		c = core.ClassReduction
+	default:
+		return fmt.Errorf("unknown class %q", req.Class)
+	}
+	var opErr error
+	if err := ss.post(func() {
+		if opErr = ss.materialize(); opErr == nil {
+			opErr = ss.live.Classify(req.Var, c)
+		}
+	}, true); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// Transform checks or applies a power-steering transformation via the
+// REPL grammar (name plus loop numbers / factors / variable names).
+func (ss *Session) Transform(req TransformRequest) (CmdResponse, error) {
+	verb := "apply"
+	if req.CheckOnly {
+		verb = "check"
+	}
+	line := verb + " " + req.Name
+	if len(req.Args) > 0 {
+		line += " " + strings.Join(req.Args, " ")
+	}
+	return ss.Cmd(line)
+}
+
+// Edit replaces (or deletes) a statement by ID (materializes).
+func (ss *Session) Edit(req EditRequest) error {
+	var opErr error
+	if err := ss.post(func() {
+		if opErr = ss.materialize(); opErr != nil {
+			return
+		}
+		if req.Delete {
+			opErr = ss.live.DeleteStmt(req.Stmt)
+		} else {
+			opErr = ss.live.EditStmt(req.Stmt, req.Text)
+		}
+	}, true); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// Undo reverts the last transformation or edit (materializes; a
+// session with no mutations has nothing to undo, exactly as cold).
+func (ss *Session) Undo() error {
+	var opErr error
+	if err := ss.post(func() {
+		if opErr = ss.materialize(); opErr == nil {
+			opErr = ss.live.Undo()
+		}
+	}, true); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// ---------------------------------------------------------------------------
+// Actor-confined implementation
+
+// materialize builds the live core.Session for an artifact-backed
+// session and replays its selection. No-op when already live.
+func (ss *Session) materialize() error {
+	if ss.live != nil {
+		return nil
+	}
+	cs, err := core.OpenWorkers(ss.path, ss.source, ss.workers)
+	if err != nil {
+		return fmt.Errorf("materialize: %v", err)
+	}
+	if ss.curUnit != ss.art.DefaultUnit {
+		if err := cs.SelectUnit(ss.art.Units[ss.curUnit].Name); err != nil {
+			return err
+		}
+	}
+	if ss.curLoop > 0 {
+		if err := cs.SelectLoop(ss.curLoop); err != nil {
+			return err
+		}
+	}
+	ss.live = cs
+	ss.rep = repl.New(cs, io.Discard)
+	ss.art = nil
+	return nil
+}
+
+// exec runs one REPL line: artifact-backed sessions answer read-only
+// commands from the cache; anything else materializes and delegates
+// to the real REPL.
+func (ss *Session) exec(line string) (string, error) {
+	if ss.live == nil {
+		if out, handled, err := ss.execArtifact(line); handled {
+			return out, err
+		}
+		if err := ss.materialize(); err != nil {
+			return "", err
+		}
+	}
+	var buf bytes.Buffer
+	ss.rep.Out = &buf
+	err := ss.rep.Execute(line)
+	ss.rep.Done = false // `quit` has no meaning server-side
+	return buf.String(), err
+}
+
+// execArtifact serves a command from the immutable artifacts.
+// handled=false means the command needs a live session.
+func (ss *Session) execArtifact(line string) (out string, handled bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", true, nil
+	}
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	art := ss.art
+	cu := &art.Units[ss.curUnit]
+	switch cmd {
+	case "quit", "exit":
+		// Session lifetime is managed by DELETE /v1/sessions/{id}.
+		return "", true, nil
+	case "help":
+		return repl.HelpText(), true, nil
+	case "legend":
+		return view.Legend(), true, nil
+	case "units":
+		var b strings.Builder
+		for i := range art.Units {
+			marker := "  "
+			if i == ss.curUnit {
+				marker = "» "
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", marker, art.Units[i].Kind, art.Units[i].Name)
+		}
+		return b.String(), true, nil
+	case "unit":
+		if len(args) != 1 {
+			return "", true, fmt.Errorf("usage: unit <name>")
+		}
+		i := art.unitIndex(args[0])
+		if i < 0 {
+			return "", true, fmt.Errorf("no unit named %s", args[0])
+		}
+		ss.curUnit, ss.curLoop = i, 0
+		return "", true, nil
+	case "loops":
+		return cu.LoopsText, true, nil
+	case "loop":
+		if len(args) < 1 {
+			return "", true, fmt.Errorf("missing loop number")
+		}
+		n, aerr := strconv.Atoi(args[0])
+		if aerr != nil {
+			return "", true, fmt.Errorf("bad loop number %q", args[0])
+		}
+		if n < 1 || n > len(cu.Loops) {
+			return "", true, fmt.Errorf("loop %d out of range (unit has %d)", n, len(cu.Loops))
+		}
+		ss.curLoop = n
+		return cu.Loops[n-1].Summary + "\n", true, nil
+	case "deps":
+		if len(args) > 0 {
+			return "", false, nil // filters need a live session
+		}
+		if ss.curLoop == 0 {
+			return art.NoLoopDepPane, true, nil
+		}
+		return cu.Loops[ss.curLoop-1].DepPane, true, nil
+	case "vars":
+		if ss.curLoop == 0 {
+			return art.NoLoopVarPane, true, nil
+		}
+		return cu.Loops[ss.curLoop-1].VarPane, true, nil
+	case "perf":
+		return cu.PerfText, true, nil
+	case "save":
+		return art.Printed, true, nil
+	}
+	return "", false, nil
+}
+
+func (ss *Session) doSelect(req SelectRequest) (SelectResponse, error) {
+	var resp SelectResponse
+	if ss.live == nil {
+		art := ss.art
+		if req.Unit != "" {
+			i := art.unitIndex(req.Unit)
+			if i < 0 {
+				return resp, fmt.Errorf("no unit named %s", req.Unit)
+			}
+			ss.curUnit, ss.curLoop = i, 0
+		}
+		if req.Loop != 0 {
+			n := len(art.Units[ss.curUnit].Loops)
+			if req.Loop < 1 || req.Loop > n {
+				return resp, fmt.Errorf("loop %d out of range (unit has %d)", req.Loop, n)
+			}
+			ss.curLoop = req.Loop
+		}
+		resp.Unit = art.Units[ss.curUnit].Name
+		resp.Loop = ss.curLoop
+		if ss.curLoop > 0 {
+			resp.Summary = art.Units[ss.curUnit].Loops[ss.curLoop-1].Summary
+		} else {
+			resp.Summary = "no loop selected"
+		}
+		return resp, nil
+	}
+	if req.Unit != "" {
+		if err := ss.live.SelectUnit(req.Unit); err != nil {
+			return resp, err
+		}
+	}
+	if req.Loop != 0 {
+		if err := ss.live.SelectLoop(req.Loop); err != nil {
+			return resp, err
+		}
+	}
+	resp.Unit = ss.live.CurrentUnit().Name
+	resp.Loop = ss.liveLoopOrdinal()
+	resp.Summary = view.DepSummary(ss.live)
+	return resp, nil
+}
+
+// liveLoopOrdinal finds the 1-based source-order number of the
+// selected loop, or 0.
+func (ss *Session) liveLoopOrdinal() int {
+	sel := ss.live.SelectedLoop()
+	if sel == nil {
+		return 0
+	}
+	for i, l := range ss.live.Loops() {
+		if l.Do == sel.Do {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func (ss *Session) doDeps(q DepQuery) DepsResponse {
+	var resp DepsResponse
+	if ss.live == nil {
+		resp.Unit = ss.art.Units[ss.curUnit].Name
+		resp.Loop = ss.curLoop
+		if ss.curLoop > 0 {
+			resp.Deps = filterInfos(ss.art.Units[ss.curUnit].Loops[ss.curLoop-1].Deps, q)
+		} else {
+			resp.Deps = []DepInfo{}
+		}
+		return resp
+	}
+	resp.Unit = ss.live.CurrentUnit().Name
+	resp.Loop = ss.liveLoopOrdinal()
+	resp.Deps = filterInfos(depInfos(ss.live), q)
+	return resp
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStressConcurrentSessions hammers one pedd with N goroutines ×
+// M sessions each over HTTP: ≥16 sessions live simultaneously, all
+// mixing artifact-served reads, materializing transforms, and edits.
+// Run under -race this is the data-race acceptance check for the
+// whole server stack (manager, cache, actors, HTTP layer).
+func TestStressConcurrentSessions(t *testing.T) {
+	const (
+		clients            = 8
+		sessionsPerClient  = 3 // 24 concurrent sessions
+		workloadsPerClient = 2
+	)
+	m := newTestManager(t, Config{CacheSize: 16, TTL: time.Minute})
+	ts := httptest.NewServer(New(m))
+	defer ts.Close()
+
+	names := []string{"onedim", "slab2d", "shear", "direct"}
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			var ids []string
+			for k := 0; k < sessionsPerClient; k++ {
+				w := names[(g*workloadsPerClient+k)%len(names)]
+				open, err := c.Open(OpenRequest{Workload: w})
+				if err != nil {
+					errCh <- fmt.Errorf("client %d: open %s: %v", g, w, err)
+					return
+				}
+				ids = append(ids, open.ID)
+			}
+			for round := 0; round < 3; round++ {
+				for _, id := range ids {
+					if _, err := c.Select(id, SelectRequest{Loop: 1}); err != nil {
+						errCh <- fmt.Errorf("client %d: select: %v", g, err)
+						return
+					}
+					if _, err := c.Deps(id, DepQuery{}); err != nil {
+						errCh <- fmt.Errorf("client %d: deps: %v", g, err)
+						return
+					}
+					for _, line := range []string{"units", "loops", "vars", "perf"} {
+						resp, err := c.Cmd(id, line)
+						if err != nil {
+							errCh <- fmt.Errorf("client %d: %s: %v", g, line, err)
+							return
+						}
+						if resp.Err != "" {
+							errCh <- fmt.Errorf("client %d: %s: %s", g, line, resp.Err)
+							return
+						}
+					}
+					// Command-level verdicts (not applicable, unsafe)
+					// are fine; transport errors are not.
+					if _, err := c.Transform(id, TransformRequest{Name: "parallelize", Args: []string{"1"}}); err != nil {
+						errCh <- fmt.Errorf("client %d: transform: %v", g, err)
+						return
+					}
+				}
+			}
+			for _, id := range ids {
+				if err := c.CloseSession(id); err != nil {
+					errCh <- fmt.Errorf("client %d: close: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if left := len(m.List()); left != 0 {
+		t.Fatalf("%d sessions leaked", left)
+	}
+}
+
+// TestStressSharedSession aims many goroutines at the SAME session:
+// the per-session actor loop must serialize them without races or
+// lost updates.
+func TestStressSharedSession(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 4})
+	mustOpen(t, m, "direct")
+	ss, resp := mustOpen(t, m, "direct")
+	if !resp.Cached {
+		t.Fatal("expected cache hit")
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	lines := []string{"loops", "loop 1", "deps", "vars", "perf", "loop 2", "deps carried", "save"}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				line := lines[(g+i)%len(lines)]
+				out, err := ss.Cmd(line)
+				if err != nil {
+					errCh <- fmt.Errorf("goroutine %d: %s: %v", g, line, err)
+					return
+				}
+				if out.Err != "" {
+					errCh <- fmt.Errorf("goroutine %d: %s: %s", g, line, out.Err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestStressCloseWhileBusy closes sessions while other goroutines are
+// mid-request: requests either complete or report ErrSessionClosed,
+// never hang or race.
+func TestStressCloseWhileBusy(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 4})
+	for round := 0; round < 8; round++ {
+		ss, resp := mustOpen(t, m, "onedim")
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					if _, err := ss.Cmd("loops"); err != nil {
+						return // ErrSessionClosed is expected
+					}
+				}
+			}()
+		}
+		m.Close(resp.ID)
+		wg.Wait()
+		if _, err := ss.Cmd("loops"); err != ErrSessionClosed {
+			t.Fatalf("round %d: cmd after close: %v", round, err)
+		}
+	}
+}
