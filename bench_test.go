@@ -4,6 +4,7 @@
 package parascope
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -253,22 +254,23 @@ func BenchmarkServerThroughput(b *testing.B) {
 				wg.Add(1)
 				go func(n int) {
 					defer wg.Done()
+					ctx := context.Background()
 					c := server.NewClient(ts.URL)
 					for i := 0; i < n; i++ {
-						open, err := c.Open(server.OpenRequest{Workload: "direct"})
+						open, err := c.Open(ctx, server.OpenRequest{Workload: "direct"})
 						if err != nil {
 							errCh <- err
 							return
 						}
-						if _, err := c.Select(open.ID, server.SelectRequest{Loop: 1}); err != nil {
+						if _, err := c.Select(ctx, open.ID, server.SelectRequest{Loop: 1}); err != nil {
 							errCh <- err
 							return
 						}
-						if _, err := c.Deps(open.ID, server.DepQuery{}); err != nil {
+						if _, err := c.Deps(ctx, open.ID, server.DepQuery{}); err != nil {
 							errCh <- err
 							return
 						}
-						if err := c.CloseSession(open.ID); err != nil {
+						if err := c.CloseSession(ctx, open.ID); err != nil {
 							errCh <- err
 							return
 						}

@@ -24,10 +24,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"parascope/internal/core"
 	"parascope/internal/repl"
@@ -39,10 +41,11 @@ func main() {
 	workload := flag.String("workload", "", "open a built-in workload program instead of a file")
 	batch := flag.Bool("batch", false, "suppress the prompt (for piped command scripts); failed commands exit non-zero")
 	remote := flag.String("remote", "", "drive a pedd daemon at this base URL instead of analyzing locally")
+	timeout := flag.Duration("timeout", 0, "per-request timeout in -remote mode (0 = client default)")
 	flag.Parse()
 
 	if *remote != "" {
-		os.Exit(runRemote(*remote, *workload, *batch))
+		os.Exit(runRemote(*remote, *workload, *batch, *timeout))
 	}
 
 	var (
@@ -91,9 +94,14 @@ func main() {
 
 // runRemote drives a pedd daemon: open a server-side session, forward
 // every stdin line to it, print what comes back. Returns the exit
-// code (non-zero in batch mode when any command failed).
-func runRemote(base, workload string, batch bool) int {
+// code (non-zero in batch mode when any command failed). The client's
+// default resilience policy is in effect: per-request timeouts, and
+// transparent backoff-and-retry across the daemon's 429/503
+// backpressure rejections.
+func runRemote(base, workload string, batch bool, timeout time.Duration) int {
+	ctx := context.Background()
 	client := server.NewClient(base)
+	client.Timeout = timeout
 	req := server.OpenRequest{Workload: workload}
 	if workload == "" {
 		if flag.NArg() != 1 {
@@ -107,12 +115,12 @@ func runRemote(base, workload string, batch bool) int {
 		}
 		req.Path, req.Source = flag.Arg(0), string(src)
 	}
-	open, err := client.Open(req)
+	open, err := client.Open(ctx, req)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ped: open: %v\n", err)
 		return 1
 	}
-	defer func() { _ = client.CloseSession(open.ID) }()
+	defer func() { _ = client.CloseSession(ctx, open.ID) }()
 	if !batch {
 		cached := ""
 		if open.Cached {
@@ -131,7 +139,7 @@ func runRemote(base, workload string, batch bool) int {
 		if line == "quit" || line == "exit" {
 			break
 		}
-		resp, err := client.Cmd(open.ID, line)
+		resp, err := client.Cmd(ctx, open.ID, line)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ped: %v\n", err)
 			return 1

@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"parascope/internal/server"
@@ -120,7 +124,7 @@ func TestRemoteMode(t *testing.T) {
 		t.Fatalf("remote loops output missing: %s", stdout)
 	}
 	// Session closed on exit.
-	if n := len(mgr.List()); n != 0 {
+	if n := len(mgr.List(context.Background())); n != 0 {
 		t.Fatalf("%d sessions leaked after remote ped exit", n)
 	}
 
@@ -132,5 +136,43 @@ func TestRemoteMode(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "error:") {
 		t.Fatalf("remote error not reported: %s", stdout)
+	}
+}
+
+// TestRemoteModeSurvivesBackpressure puts a flaky front half in front
+// of pedd — every other request is rejected with 429 — and requires
+// ped -remote to ride it out invisibly: the client's backoff-and-
+// retry policy must absorb the rejections and the script still exits
+// 0 with full output.
+func TestRemoteModeSurvivesBackpressure(t *testing.T) {
+	bin := buildPed(t)
+	mgr := server.NewManager(server.Config{CacheSize: 8})
+	defer mgr.Shutdown()
+	inner := server.New(mgr)
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"daemon busy"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	stdout, stderr, code := runPed(t, bin, "loops\nloop 1\ndeps\nquit\n",
+		"-remote", ts.URL, "-batch", "-workload", "direct")
+	if code != 0 {
+		t.Fatalf("script through 429 bursts exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "do ") {
+		t.Fatalf("retried loops output missing: %s", stdout)
+	}
+	if rejected := n.Load() / 2; rejected == 0 {
+		t.Fatal("flaky proxy never rejected a request; test proves nothing")
+	}
+	if len(mgr.List(context.Background())) != 0 {
+		t.Fatal("sessions leaked through the flaky proxy")
 	}
 }

@@ -35,14 +35,25 @@ func main() {
 	ttl := flag.Duration("ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
 	cacheSize := flag.Int("cache", 128, "analysis cache capacity in programs (0 disables)")
 	workers := flag.Int("workers", 0, "per-open analysis worker pool size (0 = GOMAXPROCS)")
+	reqTimeout := flag.Duration("reqtimeout", server.DefaultReqTimeout, "per-request deadline; queued commands past it get 504 (negative disables)")
+	maxBody := flag.Int64("maxbody", server.DefaultMaxBodyBytes, "request body size cap in bytes; larger bodies get 413 (negative disables)")
+	maxSessions := flag.Int("maxsessions", 0, "live session cap; opens past it get 503 (0 = unlimited)")
+	queueDepth := flag.Int("queue", 0, "per-session pending-command queue depth; full queues get 429 (0 = default)")
 	flag.Parse()
 
 	mgr := server.NewManager(server.Config{
-		TTL:       *ttl,
-		CacheSize: *cacheSize,
-		Workers:   *workers,
+		TTL:         *ttl,
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+		MaxSessions: *maxSessions,
+		QueueDepth:  *queueDepth,
 	})
-	srv := &http.Server{Addr: *addr, Handler: server.New(mgr)}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewWith(mgr, server.Options{ReqTimeout: *reqTimeout, MaxBodyBytes: *maxBody}),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

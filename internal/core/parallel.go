@@ -11,9 +11,11 @@ import (
 	"encoding/hex"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"parascope/internal/dep"
+	"parascope/internal/faultpoint"
 	"parascope/internal/fortran"
 )
 
@@ -38,12 +40,31 @@ func (s *Session) analyzeUnits(units []*fortran.Unit, old map[*fortran.Unit]*Uni
 	results := make([]*UnitState, len(units))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var firstPanic *unitPanic
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = s.analyzeUnit(units[i], old[units[i]])
+				// A panic in one unit's analysis must not take down
+				// the process (the pool runs on daemon goroutines,
+				// where an escaped panic is unrecoverable): capture
+				// it here, let the other units finish, and rethrow
+				// on the calling goroutine so the caller's recovery
+				// boundary — the server's session actor — sees it.
+				func(i int) {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if firstPanic == nil {
+								firstPanic = &unitPanic{unit: units[i].Name, val: r, stack: debug.Stack()}
+							}
+							panicMu.Unlock()
+						}
+					}()
+					results[i] = s.analyzeUnit(units[i], old[units[i]])
+				}(i)
 			}
 		}()
 	}
@@ -52,10 +73,22 @@ func (s *Session) analyzeUnits(units []*fortran.Unit, old map[*fortran.Unit]*Uni
 	}
 	close(idx)
 	wg.Wait()
+	if firstPanic != nil {
+		panic(fmt.Sprintf("analysis of unit %s panicked: %v\nworker stack:\n%s",
+			firstPanic.unit, firstPanic.val, firstPanic.stack))
+	}
 	for i, u := range units {
 		out[u] = results[i]
 	}
 	return out
+}
+
+// unitPanic carries a panic out of an analysis worker goroutine so it
+// can be rethrown where the caller can recover it.
+type unitPanic struct {
+	unit  string
+	val   interface{}
+	stack []byte
 }
 
 // OpenWorkers parses src and builds a session whose whole-program
@@ -63,6 +96,9 @@ func (s *Session) analyzeUnits(units []*fortran.Unit, old map[*fortran.Unit]*Uni
 // the entry point the pedd server uses so a daemon hosting many
 // sessions can bound its per-open analysis parallelism.
 func OpenWorkers(path, src string, workers int) (*Session, error) {
+	if err := faultpoint.Hit(faultpoint.Parse, path); err != nil {
+		return nil, err
+	}
 	f, err := fortran.Parse(path, src)
 	if err != nil {
 		return nil, err

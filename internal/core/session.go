@@ -16,6 +16,7 @@ import (
 	"parascope/internal/dataflow"
 	"parascope/internal/dep"
 	"parascope/internal/expr"
+	"parascope/internal/faultpoint"
 	"parascope/internal/fortran"
 	"parascope/internal/interproc"
 	"parascope/internal/perf"
@@ -190,6 +191,11 @@ func (s *Session) ReanalyzeUnit(u *fortran.Unit) {
 }
 
 func (s *Session) analyzeUnit(u *fortran.Unit, prev *UnitState) *UnitState {
+	if err := faultpoint.Hit(faultpoint.Analyze, s.File.Path+":"+u.Name); err != nil {
+		// Analysis has no error channel; an injected error surfaces
+		// as a panic for the session-level recovery boundary.
+		panic(err)
+	}
 	st := &UnitState{Unit: u, marks: map[depKey]dep.Mark{}, classes: map[string]VarClass{}}
 	if prev != nil {
 		st.marks = prev.marks
@@ -631,6 +637,9 @@ func (s *Session) Check(t xform.Transformation) xform.Verdict {
 // recording undo state. Rejected dependences stay out of the safety
 // decision (the user has overruled the analysis).
 func (s *Session) Transform(t xform.Transformation) (xform.Verdict, error) {
+	if err := faultpoint.Hit(faultpoint.Transform, s.File.Path+":"+t.Name()); err != nil {
+		return xform.Verdict{}, err
+	}
 	ctx := s.xformContext()
 	v := t.Check(ctx)
 	if !v.OK() {

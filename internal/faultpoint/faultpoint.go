@@ -1,0 +1,154 @@
+// Package faultpoint provides named fault-injection sites for chaos
+// testing. Production code calls Hit at interesting boundaries
+// (parsing, analysis, transformation, cache lookup); the call is a
+// single atomic load when nothing is armed, so the sites are free in
+// normal operation. Tests arm a site with a Fault — a delay, an
+// error, a panic, or a combination — optionally scoped by a substring
+// match on the site's detail string, and the next matching Hit
+// injects it. This is how the server's resilience tests create a
+// panicking session or a hung analysis on demand without touching
+// production logic.
+package faultpoint
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names instrumented in the codebase. Arbitrary strings are
+// allowed; these constants are the sites that ship instrumented.
+const (
+	// Parse fires before a source file is parsed (detail: path).
+	Parse = "parse"
+	// Analyze fires before a program unit is analyzed (detail:
+	// "path:unit"). Analysis has no error channel, so an Err fault at
+	// this site surfaces as a panic in the worker that hit it.
+	Analyze = "analyze"
+	// Transform fires before a transformation is checked and applied
+	// (detail: "path:transformation").
+	Transform = "transform"
+	// CacheGet fires on every analysis-cache lookup (detail: the
+	// content-hash key). An Err fault degrades the lookup to a miss.
+	CacheGet = "cache-get"
+)
+
+// Fault describes the behavior injected when an armed site is hit.
+// Delay is applied first, then Panic or Err (Panic wins).
+type Fault struct {
+	// Match scopes the fault to Hit calls whose detail string
+	// contains it; empty matches every call at the site.
+	Match string
+	// Delay sleeps before acting — armed alone it models a hang.
+	Delay time.Duration
+	// Err is returned from Hit for the caller to propagate.
+	Err error
+	// Panic makes Hit panic with a descriptive value.
+	Panic bool
+	// Times bounds how often the fault fires; 0 means every match.
+	Times int
+}
+
+type armedFault struct {
+	Fault
+	fired atomic.Int64
+}
+
+var (
+	// armedCount is the fast-path gate: zero means Hit is a no-op.
+	armedCount atomic.Int64
+
+	mu    sync.Mutex
+	sites map[string][]*armedFault
+)
+
+// Arm registers a fault at a site and returns its disarm function.
+// Multiple faults may be armed at one site; the first one that
+// matches (and has firings left) wins.
+func Arm(site string, f Fault) (disarm func()) {
+	af := &armedFault{Fault: f}
+	mu.Lock()
+	if sites == nil {
+		sites = map[string][]*armedFault{}
+	}
+	sites[site] = append(sites[site], af)
+	mu.Unlock()
+	armedCount.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			mu.Lock()
+			list := sites[site]
+			for i, x := range list {
+				if x == af {
+					sites[site] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			mu.Unlock()
+			armedCount.Add(-1)
+		})
+	}
+}
+
+// Reset disarms every fault — test cleanup.
+func Reset() {
+	mu.Lock()
+	n := 0
+	for _, list := range sites {
+		n += len(list)
+	}
+	sites = nil
+	mu.Unlock()
+	armedCount.Add(int64(-n))
+}
+
+// Fired reports how many injections have fired at the site since its
+// faults were armed (disarming removes the counters).
+func Fired(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	var n int64
+	for _, af := range sites[site] {
+		n += af.fired.Load()
+	}
+	return n
+}
+
+// Hit triggers the first matching armed fault at the site: it sleeps
+// the fault's Delay, then panics or returns the fault's Err. With
+// nothing armed (the production case) it returns nil after one
+// atomic load.
+func Hit(site, detail string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	var act *armedFault
+	for _, af := range sites[site] {
+		if af.Match != "" && !strings.Contains(detail, af.Match) {
+			continue
+		}
+		if af.Times > 0 && af.fired.Load() >= int64(af.Times) {
+			continue
+		}
+		act = af
+		break
+	}
+	if act != nil {
+		act.fired.Add(1)
+	}
+	mu.Unlock()
+	if act == nil {
+		return nil
+	}
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	if act.Panic {
+		panic(fmt.Sprintf("faultpoint %s: injected panic (detail %q)", site, detail))
+	}
+	return act.Err
+}

@@ -1,0 +1,106 @@
+package faultpoint
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNoop(t *testing.T) {
+	Reset()
+	if err := Hit("nowhere", "detail"); err != nil {
+		t.Fatalf("disarmed hit returned %v", err)
+	}
+}
+
+func TestErrFaultAndMatch(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("injected")
+	disarm := Arm(Parse, Fault{Match: "boom.f", Err: boom})
+	defer disarm()
+	if err := Hit(Parse, "healthy.f"); err != nil {
+		t.Fatalf("non-matching detail injected %v", err)
+	}
+	if err := Hit(Parse, "boom.f"); !errors.Is(err, boom) {
+		t.Fatalf("matching detail returned %v, want injected error", err)
+	}
+	if got := Fired(Parse); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	disarm()
+	if err := Hit(Parse, "boom.f"); err != nil {
+		t.Fatalf("disarmed site injected %v", err)
+	}
+}
+
+func TestTimesBoundsFirings(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(Analyze, Fault{Err: errors.New("x"), Times: 2})
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if Hit(Analyze, "") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fault fired %d times, want 2", fired)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(Transform, Fault{Panic: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("armed panic fault did not panic")
+		}
+		if !strings.Contains(r.(string), "faultpoint transform") {
+			t.Fatalf("panic value %v does not name the site", r)
+		}
+	}()
+	_ = Hit(Transform, "p.f:parallelize")
+}
+
+func TestDelayFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(CacheGet, Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit(CacheGet, "key"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay fault returned after %v", d)
+	}
+}
+
+// TestConcurrentHitAndArm races Hit against Arm/disarm/Reset under
+// -race: the registry must stay consistent.
+func TestConcurrentHitAndArm(t *testing.T) {
+	t.Cleanup(Reset)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = Hit(Analyze, "p.f:main")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		disarm := Arm(Analyze, Fault{Err: errors.New("x"), Match: "p.f"})
+		disarm()
+	}
+	Reset()
+	close(stop)
+	wg.Wait()
+}

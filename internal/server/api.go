@@ -7,6 +7,8 @@
 // reparse and reanalysis.
 package server
 
+import "time"
+
 // OpenRequest creates a session: either over a built-in workload by
 // name, or over raw source text with its display path.
 type OpenRequest struct {
@@ -29,6 +31,9 @@ type OpenResponse struct {
 type SessionInfo struct {
 	ID   string `json:"id"`
 	Path string `json:"path"`
+	// State is the lifecycle state: active, failed (quarantined after
+	// a panic), or closed.
+	State string `json:"state"`
 	// Live reports whether a full core.Session has been materialized;
 	// cache-hit sessions stay artifact-backed until a mutating or
 	// unsupported command arrives.
@@ -37,6 +42,21 @@ type SessionInfo struct {
 	// the analysis inputs since opening.
 	Mutated     bool    `json:"mutated"`
 	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+// FailureInfo diagnoses a quarantined session: what panicked, the
+// captured stacks, and when.
+type FailureInfo struct {
+	Reason string    `json:"reason"`
+	Stack  string    `json:"stack,omitempty"`
+	Time   time.Time `json:"time"`
+}
+
+// SessionStatusResponse is the body of GET /v1/sessions/{id}: the
+// listing row plus, for a quarantined session, its failure.
+type SessionStatusResponse struct {
+	SessionInfo
+	Failure *FailureInfo `json:"failure,omitempty"`
 }
 
 // CmdRequest runs one REPL command line in the session.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"parascope/internal/core"
+	"parascope/internal/faultpoint"
 	"parascope/internal/fortran"
 	"parascope/internal/view"
 )
@@ -212,9 +213,14 @@ func NewCache(max int) *Cache {
 	return &Cache{max: max, order: list.New(), entries: map[string]*list.Element{}}
 }
 
-// Get returns the artifacts for key, or nil on a miss.
+// Get returns the artifacts for key, or nil on a miss. An injected
+// cache-get fault degrades the lookup to a miss (the open falls back
+// to a cold analysis) — cache failure must never fail a request.
 func (c *Cache) Get(key string) *Artifacts {
 	if c == nil {
+		return nil
+	}
+	if err := faultpoint.Hit(faultpoint.CacheGet, key); err != nil {
 		return nil
 	}
 	c.mu.Lock()

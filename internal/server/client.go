@@ -2,24 +2,74 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 )
 
+// Client retry/timeout defaults; override per Client field.
+const (
+	// DefaultClientTimeout bounds each individual attempt.
+	DefaultClientTimeout = 30 * time.Second
+	// DefaultMaxRetries is how many times a failed attempt is retried
+	// (so up to 1+DefaultMaxRetries attempts total).
+	DefaultMaxRetries = 3
+	// DefaultBaseBackoff seeds the exponential backoff schedule.
+	DefaultBaseBackoff = 50 * time.Millisecond
+	// DefaultMaxBackoff caps a single backoff sleep.
+	DefaultMaxBackoff = 2 * time.Second
+)
+
+// APIError is a non-2xx response from the daemon: the status code,
+// the server's error message, and its Retry-After hint (if any), so
+// callers — and the retry loop — can react per status.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return e.Message
+	}
+	return fmt.Sprintf("http status %d", e.Status)
+}
+
 // Client drives a pedd daemon over HTTP — the transport behind
-// `ped -remote` and the server benchmarks.
+// `ped -remote` and the server benchmarks. It is resilient by
+// default: every attempt runs under a timeout, and failed attempts
+// are retried with exponential backoff plus jitter when it is safe —
+// transport errors on idempotent requests, and 429/503 backpressure
+// rejections on any request (the server refused before doing work),
+// honoring the Retry-After hint.
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://localhost:7473".
 	Base string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout bounds each attempt (0 = DefaultClientTimeout,
+	// negative = no per-attempt timeout).
+	Timeout time.Duration
+	// MaxRetries is the retry budget after the first attempt
+	// (0 = DefaultMaxRetries, negative = never retry).
+	MaxRetries int
+	// BaseBackoff and MaxBackoff shape the backoff schedule
+	// (0 = defaults).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
 }
 
-// NewClient creates a client for the daemon at base.
+// NewClient creates a client for the daemon at base with the default
+// resilience policy.
 func NewClient(base string) *Client {
 	return &Client{Base: strings.TrimRight(base, "/")}
 }
@@ -31,22 +81,110 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request; out (when non-nil) receives the decoded 2xx
-// body, and non-2xx bodies become errors.
-func (c *Client) do(method, path string, in, out interface{}) error {
-	var body io.Reader
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries > 0:
+		return c.MaxRetries
+	case c.MaxRetries < 0:
+		return 0
+	default:
+		return DefaultMaxRetries
+	}
+}
+
+// backoff computes the sleep before retry number attempt (0-based):
+// exponential from BaseBackoff, capped at MaxBackoff, with ±50%
+// jitter so synchronized clients spread out; a server Retry-After
+// hint is a floor.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base, cap_ := c.BaseBackoff, c.MaxBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	if cap_ <= 0 {
+		cap_ = DefaultMaxBackoff
+	}
+	d := base << uint(attempt)
+	if d > cap_ || d <= 0 {
+		d = cap_
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryable reports whether err is worth retrying, and any server-
+// mandated wait. Backpressure rejections (429/503) are always safe to
+// retry — the server refused before doing work; other failures (like
+// a dropped connection mid-flight) are retried only for idempotent
+// methods, where a duplicate cannot double-apply.
+func retryable(err error, idempotent bool) (bool, time.Duration) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable {
+			return true, apiErr.RetryAfter
+		}
+		return false, 0
+	}
+	return idempotent, 0
+}
+
+// do issues one request with the retry policy; out (when non-nil)
+// receives the decoded 2xx body, and non-2xx bodies become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var payload []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.Base+path, body)
+	idempotent := method == http.MethodGet || method == http.MethodHead ||
+		method == http.MethodDelete || method == http.MethodPut
+	for attempt := 0; ; attempt++ {
+		err := c.attempt(ctx, method, path, payload, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		ok, retryAfter := retryable(err, idempotent)
+		if !ok || attempt >= c.maxRetries() || ctx.Err() != nil {
+			return err
+		}
+		t := time.NewTimer(c.backoff(attempt, retryAfter))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		}
+	}
+}
+
+// attempt issues one HTTP request under the per-attempt timeout.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, out interface{}) error {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultClientTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -55,53 +193,67 @@ func (c *Client) do(method, path string, in, out interface{}) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode}
 		var e ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s", e.Error)
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = fmt.Sprintf("%s %s: %s", method, path, resp.Status)
 		}
-		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
 	}
 	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Open creates a session.
-func (c *Client) Open(req OpenRequest) (OpenResponse, error) {
+func (c *Client) Open(ctx context.Context, req OpenRequest) (OpenResponse, error) {
 	var resp OpenResponse
-	err := c.do(http.MethodPost, "/v1/sessions", req, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp)
 	return resp, err
 }
 
 // List enumerates the live sessions.
-func (c *Client) List() ([]SessionInfo, error) {
+func (c *Client) List(ctx context.Context) ([]SessionInfo, error) {
 	var resp []SessionInfo
-	err := c.do(http.MethodGet, "/v1/sessions", nil, &resp)
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &resp)
+	return resp, err
+}
+
+// Status fetches one session's state and failure diagnostics.
+func (c *Client) Status(ctx context.Context, id string) (SessionStatusResponse, error) {
+	var resp SessionStatusResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &resp)
 	return resp, err
 }
 
 // CloseSession deletes a session.
-func (c *Client) CloseSession(id string) error {
-	return c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+func (c *Client) CloseSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
 }
 
 // Cmd runs one REPL command line in the session.
-func (c *Client) Cmd(id, line string) (CmdResponse, error) {
+func (c *Client) Cmd(ctx context.Context, id, line string) (CmdResponse, error) {
 	var resp CmdResponse
-	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/cmd", CmdRequest{Line: line}, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/cmd", CmdRequest{Line: line}, &resp)
 	return resp, err
 }
 
 // Select switches unit and/or loop.
-func (c *Client) Select(id string, req SelectRequest) (SelectResponse, error) {
+func (c *Client) Select(ctx context.Context, id string, req SelectRequest) (SelectResponse, error) {
 	var resp SelectResponse
-	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/select", req, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/select", req, &resp)
 	return resp, err
 }
 
 // Deps fetches the selected loop's dependences.
-func (c *Client) Deps(id string, q DepQuery) (DepsResponse, error) {
+func (c *Client) Deps(ctx context.Context, id string, q DepQuery) (DepsResponse, error) {
 	v := url.Values{}
 	if q.Carried {
 		v.Set("carried", "1")
@@ -123,35 +275,35 @@ func (c *Client) Deps(id string, q DepQuery) (DepsResponse, error) {
 		path += "?" + v.Encode()
 	}
 	var resp DepsResponse
-	err := c.do(http.MethodGet, path, nil, &resp)
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
 	return resp, err
 }
 
 // Classify overrides a variable's classification.
-func (c *Client) Classify(id string, req ClassifyRequest) error {
-	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/classify", req, nil)
+func (c *Client) Classify(ctx context.Context, id string, req ClassifyRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/classify", req, nil)
 }
 
 // Transform checks or applies a transformation.
-func (c *Client) Transform(id string, req TransformRequest) (CmdResponse, error) {
+func (c *Client) Transform(ctx context.Context, id string, req TransformRequest) (CmdResponse, error) {
 	var resp CmdResponse
-	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/transform", req, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/transform", req, &resp)
 	return resp, err
 }
 
 // Edit replaces or deletes a statement.
-func (c *Client) Edit(id string, req EditRequest) error {
-	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/edit", req, nil)
+func (c *Client) Edit(ctx context.Context, id string, req EditRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/edit", req, nil)
 }
 
 // Undo reverts the last change.
-func (c *Client) Undo(id string) error {
-	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/undo", nil, nil)
+func (c *Client) Undo(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/undo", nil, nil)
 }
 
 // CacheStats fetches the daemon's analysis cache counters.
-func (c *Client) CacheStats() (CacheStatsResponse, error) {
+func (c *Client) CacheStats(ctx context.Context) (CacheStatsResponse, error) {
 	var resp CacheStatsResponse
-	err := c.do(http.MethodGet, "/v1/cache", nil, &resp)
+	err := c.do(ctx, http.MethodGet, "/v1/cache", nil, &resp)
 	return resp, err
 }

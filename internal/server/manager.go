@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +12,15 @@ import (
 	"parascope/internal/dep"
 	"parascope/internal/workloads"
 )
+
+// ErrTooManySessions is returned by Open when the live-session cap is
+// reached — admission control; the client should retry after closures
+// or evictions free a slot.
+var ErrTooManySessions = errors.New("session limit reached")
+
+// ErrInternal wraps failures of the server's own machinery (e.g. a
+// panic during open-time analysis) as opposed to invalid input.
+var ErrInternal = errors.New("internal error")
 
 // Config tunes the session manager.
 type Config struct {
@@ -21,6 +32,12 @@ type Config struct {
 	CacheSize int
 	// Workers caps the per-open analysis worker pool (0 = GOMAXPROCS).
 	Workers int
+	// MaxSessions caps concurrently live sessions (0 = unlimited);
+	// Open returns ErrTooManySessions at the cap.
+	MaxSessions int
+	// QueueDepth bounds each session's pending-command queue
+	// (0 = default); a full queue rejects with ErrQueueFull.
+	QueueDepth int
 }
 
 // Manager owns the live sessions and the analysis cache.
@@ -30,6 +47,9 @@ type Manager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+	// reserved counts opens in flight (admitted but not yet
+	// registered), so the MaxSessions cap holds across the analysis.
+	reserved int
 	seq      int
 
 	stop     chan struct{}
@@ -83,6 +103,12 @@ func (m *Manager) janitor(every time.Duration) {
 // the content-hash cache, and registers a new session. On a hit the
 // session opens artifact-backed — no parse, no analysis. On a miss it
 // analyzes cold, stores the artifacts, and opens live.
+//
+// Admission control: when Config.MaxSessions is set, a slot is
+// reserved before the (expensive) analysis and released if the open
+// fails; at the cap Open returns ErrTooManySessions without doing any
+// work. A panic during open-time analysis is recovered and returned
+// as an error wrapping ErrInternal — it cannot take down the daemon.
 func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
 	var resp OpenResponse
 	path, source := req.Path, req.Source
@@ -99,6 +125,22 @@ func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
 	if path == "" {
 		path = "input.f"
 	}
+	m.mu.Lock()
+	if m.cfg.MaxSessions > 0 && len(m.sessions)+m.reserved >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, resp, ErrTooManySessions
+	}
+	m.reserved++
+	m.mu.Unlock()
+	admitted := false
+	defer func() {
+		if !admitted {
+			m.mu.Lock()
+			m.reserved--
+			m.mu.Unlock()
+		}
+	}()
+
 	key := core.AnalysisKey(path, source, dep.DefaultOptions(), false)
 	art := m.cache.Get(key)
 	cached := art != nil
@@ -107,7 +149,7 @@ func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
 	if art != nil {
 		units = art.UnitNames()
 	} else {
-		cs, err := core.OpenWorkers(path, source, m.cfg.Workers)
+		cs, newArt, err := m.analyzeOpen(key, path, source)
 		if err != nil {
 			return nil, resp, err
 		}
@@ -115,19 +157,42 @@ func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
 		for _, u := range cs.File.Units {
 			units = append(units, u.Name)
 		}
-		if m.cache != nil {
-			art = BuildArtifacts(key, cs)
+		if newArt != nil {
+			art = newArt
 			m.cache.Put(art)
 		}
 	}
 	m.mu.Lock()
 	m.seq++
 	id := fmt.Sprintf("s%d", m.seq)
-	ss := newSession(id, path, source, art, live, m.cfg.Workers)
+	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth)
 	m.sessions[id] = ss
+	m.reserved--
+	admitted = true
 	m.mu.Unlock()
 	resp = OpenResponse{ID: id, Path: path, Units: units, Cached: cached}
 	return ss, resp, nil
+}
+
+// analyzeOpen runs the cold-open parse + whole-program analysis (and
+// artifact build when the cache is enabled) behind a recover: a panic
+// anywhere in the front end or analyses becomes an ErrInternal-
+// wrapped error on this open only.
+func (m *Manager) analyzeOpen(key, path, source string) (cs *core.Session, art *Artifacts, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cs, art = nil, nil
+			err = fmt.Errorf("%w: analysis of %s panicked: %v", ErrInternal, path, r)
+		}
+	}()
+	cs, err = core.OpenWorkers(path, source, m.cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.cache != nil {
+		art = BuildArtifacts(key, cs)
+	}
+	return cs, art, nil
 }
 
 // Get returns a session by ID, or nil.
@@ -137,8 +202,11 @@ func (m *Manager) Get(id string) *Session {
 	return m.sessions[id]
 }
 
-// List snapshots every session, ordered by ID.
-func (m *Manager) List() []SessionInfo {
+// List snapshots every session, ordered by ID. Sessions whose actor
+// cannot answer within the per-session info budget (hung or
+// saturated) degrade to their static fields rather than stalling the
+// listing.
+func (m *Manager) List(ctx context.Context) []SessionInfo {
 	m.mu.Lock()
 	all := make([]*Session, 0, len(m.sessions))
 	for _, ss := range m.sessions {
@@ -147,7 +215,7 @@ func (m *Manager) List() []SessionInfo {
 	m.mu.Unlock()
 	out := make([]SessionInfo, 0, len(all))
 	for _, ss := range all {
-		out = append(out, ss.Info())
+		out = append(out, ss.Info(ctx))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].ID) != len(out[j].ID) {

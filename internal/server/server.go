@@ -1,11 +1,38 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
+
+// Default request-hardening limits; override via Options.
+const (
+	// DefaultReqTimeout bounds each request end to end: a command
+	// still queued when it expires is abandoned, and the client gets
+	// 504 instead of waiting on a wedged session.
+	DefaultReqTimeout = 30 * time.Second
+	// DefaultMaxBodyBytes bounds request bodies (413 past it).
+	DefaultMaxBodyBytes = 1 << 20
+	// retryAfterSeconds is the Retry-After hint on 429/503 rejections.
+	retryAfterSeconds = 1
+)
+
+// Options tunes the HTTP hardening layer.
+type Options struct {
+	// ReqTimeout is the per-request deadline (0 = DefaultReqTimeout,
+	// negative = disabled).
+	ReqTimeout time.Duration
+	// MaxBodyBytes caps request bodies (0 = DefaultMaxBodyBytes,
+	// negative = disabled).
+	MaxBodyBytes int64
+}
 
 // Server is the HTTP front of a Manager. Routes (all JSON):
 //
@@ -13,6 +40,7 @@ import (
 //	GET    /v1/cache                     analysis cache counters
 //	POST   /v1/sessions                  open (workload | path+source)
 //	GET    /v1/sessions                  list
+//	GET    /v1/sessions/{id}             state + failure diagnostics
 //	DELETE /v1/sessions/{id}             close
 //	POST   /v1/sessions/{id}/cmd         run one REPL command line
 //	POST   /v1/sessions/{id}/select      select unit and/or loop
@@ -22,14 +50,29 @@ import (
 //	POST   /v1/sessions/{id}/transform   check/apply a transformation
 //	POST   /v1/sessions/{id}/edit        edit or delete a statement
 //	POST   /v1/sessions/{id}/undo        undo the last change
+//
+// Every request runs under a deadline and a body-size cap, and every
+// session error is mapped to a precise status (see writeOpError) so
+// clients can tell a quarantined session (500) from a closed one
+// (410), backpressure (429/503) from timeout (504).
 type Server struct {
-	mgr *Manager
-	mux *http.ServeMux
+	mgr  *Manager
+	mux  *http.ServeMux
+	opts Options
 }
 
-// New wires the routes over a manager.
-func New(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+// New wires the routes over a manager with default hardening limits.
+func New(mgr *Manager) *Server { return NewWith(mgr, Options{}) }
+
+// NewWith wires the routes with explicit limits.
+func NewWith(mgr *Manager, opts Options) *Server {
+	if opts.ReqTimeout == 0 {
+		opts.ReqTimeout = DefaultReqTimeout
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), opts: opts}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -38,8 +81,9 @@ func New(mgr *Manager) *Server {
 	})
 	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
 	s.mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, mgr.List())
+		writeJSON(w, http.StatusOK, mgr.List(r.Context()))
 	})
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.session(s.handleStatus))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if !mgr.Close(r.PathValue("id")) {
 			writeError(w, http.StatusNotFound, errors.New("no such session"))
@@ -57,8 +101,19 @@ func New(mgr *Manager) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: it imposes the per-request
+// deadline and body cap before routing.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.opts.ReqTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.ReqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	if s.opts.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // session resolves {id} before running the handler.
 func (s *Server) session(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
@@ -79,10 +134,26 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	}
 	_, resp, err := s.mgr.Open(req)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		switch {
+		case errors.Is(err, ErrTooManySessions):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrInternal):
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeError(w, http.StatusUnprocessableEntity, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, ss *Session) {
+	resp := SessionStatusResponse{
+		SessionInfo: ss.Info(r.Context()),
+		Failure:     ss.Failure(),
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCmd(w http.ResponseWriter, r *http.Request, ss *Session) {
@@ -90,9 +161,9 @@ func (s *Server) handleCmd(w http.ResponseWriter, r *http.Request, ss *Session) 
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := ss.Cmd(req.Line)
+	resp, err := ss.Cmd(r.Context(), req.Line)
 	if err != nil {
-		writeError(w, http.StatusGone, err)
+		writeOpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -103,7 +174,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request, ss *Sessio
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := ss.Select(req)
+	resp, err := ss.Select(r.Context(), req)
 	if err != nil {
 		writeOpError(w, err)
 		return
@@ -126,7 +197,7 @@ func (s *Server) handleDeps(w http.ResponseWriter, r *http.Request, ss *Session)
 			}
 		}
 	}
-	resp, err := ss.Deps(dq)
+	resp, err := ss.Deps(r.Context(), dq)
 	if err != nil {
 		writeOpError(w, err)
 		return
@@ -139,7 +210,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, ss *Sess
 	if !readJSON(w, r, &req) {
 		return
 	}
-	if err := ss.Classify(req); err != nil {
+	if err := ss.Classify(r.Context(), req); err != nil {
 		writeOpError(w, err)
 		return
 	}
@@ -151,9 +222,9 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request, ss *Ses
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := ss.Transform(req)
+	resp, err := ss.Transform(r.Context(), req)
 	if err != nil {
-		writeError(w, http.StatusGone, err)
+		writeOpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -164,7 +235,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request, ss *Session)
 	if !readJSON(w, r, &req) {
 		return
 	}
-	if err := ss.Edit(req); err != nil {
+	if err := ss.Edit(r.Context(), req); err != nil {
 		writeOpError(w, err)
 		return
 	}
@@ -172,7 +243,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request, ss *Session)
 }
 
 func (s *Server) handleUndo(w http.ResponseWriter, r *http.Request, ss *Session) {
-	if err := ss.Undo(); err != nil {
+	if err := ss.Undo(r.Context()); err != nil {
 		writeOpError(w, err)
 		return
 	}
@@ -181,10 +252,30 @@ func (s *Server) handleUndo(w http.ResponseWriter, r *http.Request, ss *Session)
 
 func boolParam(v string) bool { return v == "1" || strings.EqualFold(v, "true") }
 
+// readJSON decodes one JSON value strictly: unknown fields are
+// rejected (400, naming the field), trailing garbage after the value
+// is rejected (400), and a body past the size cap is 413.
 func readJSON(w http.ResponseWriter, r *http.Request, into interface{}) bool {
 	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		if err == nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("trailing data after JSON body (next token %v)", tok))
+		} else {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("trailing data after JSON body"))
+		}
 		return false
 	}
 	return true
@@ -196,14 +287,35 @@ func writeJSON(w http.ResponseWriter, status int, body interface{}) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-// writeOpError maps a session-operation error to a status: closed
-// sessions are gone, everything else is a command-level rejection.
+// statusClientClosedRequest is the nginx convention for a client that
+// disconnected before the response was ready; nothing useful can be
+// delivered, but logs and tests see a distinct status.
+const statusClientClosedRequest = 499
+
+// writeOpError maps a session-operation error to a status:
+//
+//	ErrSessionClosed         410  session closed or evicted
+//	ErrSessionFailed         500  session quarantined after a panic
+//	ErrQueueFull             429  per-session queue at capacity
+//	context.DeadlineExceeded 504  request deadline expired
+//	context.Canceled         499  client went away
+//	anything else            422  command-level rejection
 func writeOpError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrSessionClosed) {
+	switch {
+	case errors.Is(err, ErrSessionClosed):
 		writeError(w, http.StatusGone, err)
-		return
+	case errors.Is(err, ErrSessionFailed):
+		writeError(w, http.StatusInternalServerError, err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
 	}
-	writeError(w, http.StatusUnprocessableEntity, err)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -1,12 +1,17 @@
 package server
 
 import (
+	"context"
 	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 )
+
+// bg is the no-deadline context used by tests that exercise the
+// session API directly.
+var bg = context.Background()
 
 func newTestManager(t *testing.T, cfg Config) *Manager {
 	t.Helper()
@@ -26,7 +31,7 @@ func mustOpen(t *testing.T, m *Manager, workload string) (*Session, OpenResponse
 
 func mustCmd(t *testing.T, ss *Session, line string) string {
 	t.Helper()
-	resp, err := ss.Cmd(line)
+	resp, err := ss.Cmd(bg, line)
 	if err != nil {
 		t.Fatalf("cmd %q: %v", line, err)
 	}
@@ -72,7 +77,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 		if !warmResp.Cached {
 			t.Fatalf("%s: second open should be cached", workload)
 		}
-		if warmSess.Info().Live {
+		if warmSess.Info(bg).Live {
 			t.Fatalf("%s: cache-hit session should be artifact-backed", workload)
 		}
 		for _, line := range script {
@@ -88,11 +93,11 @@ func TestCacheHitByteIdentical(t *testing.T) {
 			{}, {Carried: true}, {HidePrivate: true},
 			{Classes: []string{"true", "anti"}}, {Carried: true, HidePrivate: true},
 		} {
-			cd, err := coldSess.Deps(q)
+			cd, err := coldSess.Deps(bg, q)
 			if err != nil {
 				t.Fatal(err)
 			}
-			wd, err := warmSess.Deps(q)
+			wd, err := warmSess.Deps(bg, q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -133,12 +138,12 @@ func TestMaterializeOnMutation(t *testing.T) {
 	}
 	mustCmd(t, ss, "loop 1")
 	warmDeps := mustCmd(t, ss, "deps")
-	if ss.Info().Live {
+	if ss.Info(bg).Live {
 		t.Fatal("reads must not materialize")
 	}
 	// A filtered deps listing needs the live session.
 	mustCmd(t, ss, "deps carried")
-	if !ss.Info().Live {
+	if !ss.Info(bg).Live {
 		t.Fatal("filtered deps should have materialized")
 	}
 	// Selection survived, and the default pane still matches.
@@ -146,14 +151,14 @@ func TestMaterializeOnMutation(t *testing.T) {
 	if liveDeps != warmDeps {
 		t.Fatalf("deps changed across materialization:\nwarm:\n%s\nlive:\n%s", warmDeps, liveDeps)
 	}
-	if ss.Info().Mutated {
+	if ss.Info(bg).Mutated {
 		t.Fatal("no mutation applied yet")
 	}
-	out, err := ss.Cmd("classify a private")
+	out, err := ss.Cmd(bg, "classify a private")
 	if err != nil || out.Err != "" {
 		t.Fatalf("classify: %v %s", err, out.Err)
 	}
-	if !ss.Info().Mutated {
+	if !ss.Info(bg).Mutated {
 		t.Fatal("classify should mark the session mutated")
 	}
 }
@@ -165,7 +170,7 @@ func TestUndoOnFreshSessionFailsLikeCold(t *testing.T) {
 	if !resp.Cached {
 		t.Fatal("expected cache hit")
 	}
-	if err := ss.Undo(); err == nil || !strings.Contains(err.Error(), "nothing to undo") {
+	if err := ss.Undo(bg); err == nil || !strings.Contains(err.Error(), "nothing to undo") {
 		t.Fatalf("undo on fresh session: got %v, want nothing-to-undo", err)
 	}
 }
@@ -173,29 +178,29 @@ func TestUndoOnFreshSessionFailsLikeCold(t *testing.T) {
 func TestSelectAndDepsTyped(t *testing.T) {
 	m := newTestManager(t, Config{CacheSize: 8})
 	ss, _ := mustOpen(t, m, "arc3d")
-	sel, err := ss.Select(SelectRequest{Loop: 1})
+	sel, err := ss.Select(bg, SelectRequest{Loop: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sel.Loop != 1 || sel.Summary == "" {
 		t.Fatalf("select = %+v", sel)
 	}
-	deps, err := ss.Deps(DepQuery{})
+	deps, err := ss.Deps(bg, DepQuery{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	all := len(deps.Deps)
-	carried, err := ss.Deps(DepQuery{Carried: true})
+	carried, err := ss.Deps(bg, DepQuery{Carried: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(carried.Deps) > all {
 		t.Fatalf("carried filter grew the list: %d > %d", len(carried.Deps), all)
 	}
-	if _, err := ss.Select(SelectRequest{Loop: 99}); err == nil {
+	if _, err := ss.Select(bg, SelectRequest{Loop: 99}); err == nil {
 		t.Fatal("out-of-range loop should fail")
 	}
-	if _, err := ss.Select(SelectRequest{Unit: "nosuch"}); err == nil {
+	if _, err := ss.Select(bg, SelectRequest{Unit: "nosuch"}); err == nil {
 		t.Fatal("unknown unit should fail")
 	}
 }
@@ -207,7 +212,7 @@ func TestTransformAndEditFlow(t *testing.T) {
 	if !resp.Cached {
 		t.Fatal("expected cache hit")
 	}
-	check, err := ss.Transform(TransformRequest{Name: "parallelize", Args: []string{"1"}, CheckOnly: true})
+	check, err := ss.Transform(bg, TransformRequest{Name: "parallelize", Args: []string{"1"}, CheckOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +223,7 @@ func TestTransformAndEditFlow(t *testing.T) {
 		t.Fatalf("check output %q", check.Output)
 	}
 	before := mustCmd(t, ss, "save")
-	out, err := ss.Cmd("auto")
+	out, err := ss.Cmd(bg, "auto")
 	if err != nil || out.Err != "" {
 		t.Fatalf("auto: %v %s", err, out.Err)
 	}
@@ -226,7 +231,7 @@ func TestTransformAndEditFlow(t *testing.T) {
 	if before == after && !strings.Contains(out.Output, "parallelized 0") {
 		t.Fatal("auto reported parallelization but source unchanged")
 	}
-	if err := ss.Undo(); err != nil {
+	if err := ss.Undo(bg); err != nil {
 		t.Fatalf("undo: %v", err)
 	}
 }
@@ -244,7 +249,7 @@ func TestTTLEviction(t *testing.T) {
 	if m.Get(resp.ID) != nil {
 		t.Fatal("evicted session still resolvable")
 	}
-	if _, err := ss.Cmd("loops"); err != ErrSessionClosed {
+	if _, err := ss.Cmd(bg, "loops"); err != ErrSessionClosed {
 		t.Fatalf("cmd on evicted session: %v, want ErrSessionClosed", err)
 	}
 }
@@ -255,73 +260,73 @@ func TestHTTPRoundTrip(t *testing.T) {
 	defer ts.Close()
 	c := NewClient(ts.URL)
 
-	open, err := c.Open(OpenRequest{Workload: "arc3d"})
+	open, err := c.Open(bg, OpenRequest{Workload: "arc3d"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(open.Units) != 2 {
 		t.Fatalf("units = %v", open.Units)
 	}
-	if _, err := c.Open(OpenRequest{Workload: "nosuch"}); err == nil {
+	if _, err := c.Open(bg, OpenRequest{Workload: "nosuch"}); err == nil {
 		t.Fatal("unknown workload should fail")
 	}
 
-	sel, err := c.Select(open.ID, SelectRequest{Loop: 2})
+	sel, err := c.Select(bg, open.ID, SelectRequest{Loop: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sel.Loop != 2 {
 		t.Fatalf("select = %+v", sel)
 	}
-	deps, err := c.Deps(open.ID, DepQuery{Carried: true})
+	deps, err := c.Deps(bg, open.ID, DepQuery{Carried: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if deps.Loop != 2 {
 		t.Fatalf("deps loop = %d", deps.Loop)
 	}
-	resp, err := c.Cmd(open.ID, "vars")
+	resp, err := c.Cmd(bg, open.ID, "vars")
 	if err != nil || resp.Err != "" {
 		t.Fatalf("vars: %v %s", err, resp.Err)
 	}
 	if !strings.Contains(resp.Output, "variables") {
 		t.Fatalf("vars output %q", resp.Output)
 	}
-	if err := c.Classify(open.ID, ClassifyRequest{Var: "nosuchvar", Class: "private"}); err == nil {
+	if err := c.Classify(bg, open.ID, ClassifyRequest{Var: "nosuchvar", Class: "private"}); err == nil {
 		t.Fatal("classify of unknown variable should fail")
 	}
-	tr, err := c.Transform(open.ID, TransformRequest{Name: "parallelize", Args: []string{"2"}, CheckOnly: true})
+	tr, err := c.Transform(bg, open.ID, TransformRequest{Name: "parallelize", Args: []string{"2"}, CheckOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tr.Output == "" && tr.Err == "" {
 		t.Fatal("transform produced nothing")
 	}
-	if err := c.Edit(open.ID, EditRequest{Stmt: 999999, Text: "x = 1"}); err == nil {
+	if err := c.Edit(bg, open.ID, EditRequest{Stmt: 999999, Text: "x = 1"}); err == nil {
 		t.Fatal("edit of unknown statement should fail")
 	}
 
-	list, err := c.List()
+	list, err := c.List(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(list) != 1 || list[0].ID != open.ID {
 		t.Fatalf("list = %+v", list)
 	}
-	st, err := c.CacheStats()
+	st, err := c.CacheStats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Entries != 1 {
 		t.Fatalf("cache stats = %+v", st)
 	}
-	if err := c.CloseSession(open.ID); err != nil {
+	if err := c.CloseSession(bg, open.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CloseSession(open.ID); err == nil {
+	if err := c.CloseSession(bg, open.ID); err == nil {
 		t.Fatal("double close should 404")
 	}
-	if _, err := c.Cmd(open.ID, "loops"); err == nil {
+	if _, err := c.Cmd(bg, open.ID, "loops"); err == nil {
 		t.Fatal("cmd on closed session should fail")
 	}
 }

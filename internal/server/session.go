@@ -2,9 +2,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,6 +21,18 @@ import (
 // ErrSessionClosed is returned for requests against a session that
 // was closed or evicted.
 var ErrSessionClosed = errors.New("session closed")
+
+// ErrSessionFailed is returned for requests against a session that
+// was quarantined after a panic; other sessions are unaffected.
+var ErrSessionFailed = errors.New("session failed")
+
+// ErrQueueFull is returned when a session's pending-command queue is
+// at capacity — backpressure instead of unbounded buffering.
+var ErrQueueFull = errors.New("session queue full")
+
+// defaultQueueDepth bounds the per-session pending-command queue when
+// the config does not say otherwise.
+const defaultQueueDepth = 32
 
 // Session is one hosted editor session. All editor state is confined
 // to a single actor goroutine: requests are posted as closures on
@@ -43,6 +57,14 @@ type Session struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	// failed flips when a command panics: the panic is recovered at
+	// the actor boundary, the session is quarantined, and every later
+	// request is rejected with ErrSessionFailed. failure holds the
+	// diagnostic (guarded by failMu, written once).
+	failed  atomic.Bool
+	failMu  sync.Mutex
+	failure *FailureInfo
+
 	// workers caps the analysis pool of the materialized session.
 	workers int
 
@@ -59,13 +81,16 @@ type task struct {
 	touch bool
 }
 
-func newSession(id, path, source string, art *Artifacts, live *core.Session, workers int) *Session {
+func newSession(id, path, source string, art *Artifacts, live *core.Session, workers, queueDepth int) *Session {
+	if queueDepth <= 0 {
+		queueDepth = defaultQueueDepth
+	}
 	ss := &Session{
 		ID:      id,
 		path:    path,
 		source:  source,
 		created: time.Now(),
-		reqCh:   make(chan task),
+		reqCh:   make(chan task, queueDepth),
 		workers: workers,
 	}
 	ss.lastUsed.Store(time.Now().UnixNano())
@@ -89,18 +114,124 @@ func (ss *Session) run() {
 	}
 }
 
-// post runs fn on the actor goroutine and waits for it to finish.
-func (ss *Session) post(fn func(), touch bool) error {
+// post runs fn on the actor goroutine and waits for it to finish,
+// honoring the caller's context. Four ways it can refuse or bail:
+//
+//   - the session already failed (quarantined): ErrSessionFailed,
+//     without touching the actor;
+//   - the bounded pending queue is full: ErrQueueFull immediately —
+//     admission control, not unbounded buffering;
+//   - ctx expires while the command is queued or running: the queued
+//     command is abandoned (it will be skipped, not executed) and
+//     ctx.Err() is returned; a command already executing cannot be
+//     interrupted, but the caller stops waiting for it;
+//   - fn panics: the panic is recovered here — only this session is
+//     quarantined, the daemon and every other session keep going —
+//     and the wrapped ErrSessionFailed carries the diagnostic.
+func (ss *Session) post(ctx context.Context, fn func(), touch bool) error {
+	if err := ss.failedErr(); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	var abandoned atomic.Bool
+	var panicErr error
+	t := task{touch: touch, fn: func() {
+		defer close(done)
+		if abandoned.Load() {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				ss.quarantine(r, debug.Stack())
+				panicErr = ss.failedErr()
+			}
+		}()
+		fn()
+	}}
 	ss.closeMu.RLock()
 	if ss.closed {
 		ss.closeMu.RUnlock()
 		return ErrSessionClosed
 	}
-	done := make(chan struct{})
-	ss.reqCh <- task{fn: func() { defer close(done); fn() }, touch: touch}
+	select {
+	case ss.reqCh <- t:
+		ss.closeMu.RUnlock()
+	default:
+		ss.closeMu.RUnlock()
+		return ErrQueueFull
+	}
+	select {
+	case <-done:
+		return panicErr
+	case <-ctx.Done():
+		abandoned.Store(true)
+		return ctx.Err()
+	}
+}
+
+// quarantine marks the session failed, recording the first panic's
+// diagnostic. The actor keeps draining its queue (rejecting nothing
+// already enqueued — those commands run against the broken state no
+// further than their own recover), but post refuses new work.
+func (ss *Session) quarantine(r interface{}, actorStack []byte) {
+	full := fmt.Sprint(r)
+	reason := full
+	if i := strings.IndexByte(reason, '\n'); i >= 0 {
+		reason = reason[:i]
+	}
+	ss.failMu.Lock()
+	if ss.failure == nil {
+		ss.failure = &FailureInfo{
+			Reason: reason,
+			Stack:  full + "\n\nactor stack:\n" + string(actorStack),
+			Time:   time.Now(),
+		}
+	}
+	ss.failMu.Unlock()
+	ss.failed.Store(true)
+}
+
+// failedErr returns the quarantine error (wrapping ErrSessionFailed)
+// or nil for a healthy session.
+func (ss *Session) failedErr() error {
+	if !ss.failed.Load() {
+		return nil
+	}
+	ss.failMu.Lock()
+	defer ss.failMu.Unlock()
+	return fmt.Errorf("%w: %s", ErrSessionFailed, ss.failure.Reason)
+}
+
+// Failure snapshots the quarantine diagnostic, or nil when healthy.
+func (ss *Session) Failure() *FailureInfo {
+	ss.failMu.Lock()
+	defer ss.failMu.Unlock()
+	if ss.failure == nil {
+		return nil
+	}
+	f := *ss.failure
+	return &f
+}
+
+// StateName reports the lifecycle state: active, failed, or closed.
+func (ss *Session) StateName() string {
+	ss.closeMu.RLock()
+	closed := ss.closed
 	ss.closeMu.RUnlock()
-	<-done
-	return nil
+	switch {
+	case closed:
+		return "closed"
+	case ss.failed.Load():
+		return "failed"
+	default:
+		return "active"
+	}
 }
 
 // close stops the actor; queued requests still drain first.
@@ -118,17 +249,30 @@ func (ss *Session) Idle() time.Duration {
 	return time.Since(time.Unix(0, ss.lastUsed.Load()))
 }
 
+// infoBudget bounds how long Info waits on the session actor: a
+// wedged or saturated session degrades to its static fields instead
+// of hanging the whole listing.
+const infoBudget = 250 * time.Millisecond
+
 // Info snapshots the session for the listing (does not reset idle).
-func (ss *Session) Info() SessionInfo {
-	info := SessionInfo{ID: ss.ID, Path: ss.path, IdleSeconds: ss.Idle().Seconds()}
-	err := ss.post(func() {
+// A session whose actor cannot answer within a short budget — hung,
+// saturated, failed, or closed — still yields a row with its ID,
+// path, and state; only Live/Mutated are omitted.
+func (ss *Session) Info(ctx context.Context) SessionInfo {
+	info := SessionInfo{ID: ss.ID, Path: ss.path, State: ss.StateName(), IdleSeconds: ss.Idle().Seconds()}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, infoBudget)
+	defer cancel()
+	err := ss.post(ctx, func() {
 		info.Live = ss.live != nil
 		if ss.live != nil {
 			info.Mutated = ss.live.Mutated()
 		}
 	}, false)
 	if err != nil {
-		return SessionInfo{ID: ss.ID, Path: ss.path}
+		return SessionInfo{ID: ss.ID, Path: ss.path, State: ss.StateName(), IdleSeconds: ss.Idle().Seconds()}
 	}
 	return info
 }
@@ -136,11 +280,12 @@ func (ss *Session) Info() SessionInfo {
 // ---------------------------------------------------------------------------
 // Public operations (each runs inside the actor)
 
-// Cmd executes one REPL command line. The returned error is only
-// ErrSessionClosed; command-level failures ride in CmdResponse.Err.
-func (ss *Session) Cmd(line string) (CmdResponse, error) {
+// Cmd executes one REPL command line. The returned error is a
+// transport/lifecycle failure (closed, failed, queue full, context);
+// command-level failures ride in CmdResponse.Err.
+func (ss *Session) Cmd(ctx context.Context, line string) (CmdResponse, error) {
 	var resp CmdResponse
-	err := ss.post(func() {
+	err := ss.post(ctx, func() {
 		out, cmdErr := ss.exec(line)
 		resp.Output = out
 		if cmdErr != nil {
@@ -151,26 +296,26 @@ func (ss *Session) Cmd(line string) (CmdResponse, error) {
 }
 
 // Select switches unit and/or loop.
-func (ss *Session) Select(req SelectRequest) (SelectResponse, error) {
+func (ss *Session) Select(ctx context.Context, req SelectRequest) (SelectResponse, error) {
 	var resp SelectResponse
 	var opErr error
-	if err := ss.post(func() { resp, opErr = ss.doSelect(req) }, true); err != nil {
+	if err := ss.post(ctx, func() { resp, opErr = ss.doSelect(req) }, true); err != nil {
 		return resp, err
 	}
 	return resp, opErr
 }
 
 // Deps lists the selected loop's dependences after filtering.
-func (ss *Session) Deps(q DepQuery) (DepsResponse, error) {
+func (ss *Session) Deps(ctx context.Context, q DepQuery) (DepsResponse, error) {
 	var resp DepsResponse
-	if err := ss.post(func() { resp = ss.doDeps(q) }, true); err != nil {
+	if err := ss.post(ctx, func() { resp = ss.doDeps(q) }, true); err != nil {
 		return resp, err
 	}
 	return resp, nil
 }
 
 // Classify overrides a variable's classification (materializes).
-func (ss *Session) Classify(req ClassifyRequest) error {
+func (ss *Session) Classify(ctx context.Context, req ClassifyRequest) error {
 	var c core.VarClass
 	switch strings.ToLower(req.Class) {
 	case "shared":
@@ -183,7 +328,7 @@ func (ss *Session) Classify(req ClassifyRequest) error {
 		return fmt.Errorf("unknown class %q", req.Class)
 	}
 	var opErr error
-	if err := ss.post(func() {
+	if err := ss.post(ctx, func() {
 		if opErr = ss.materialize(); opErr == nil {
 			opErr = ss.live.Classify(req.Var, c)
 		}
@@ -195,7 +340,7 @@ func (ss *Session) Classify(req ClassifyRequest) error {
 
 // Transform checks or applies a power-steering transformation via the
 // REPL grammar (name plus loop numbers / factors / variable names).
-func (ss *Session) Transform(req TransformRequest) (CmdResponse, error) {
+func (ss *Session) Transform(ctx context.Context, req TransformRequest) (CmdResponse, error) {
 	verb := "apply"
 	if req.CheckOnly {
 		verb = "check"
@@ -204,13 +349,13 @@ func (ss *Session) Transform(req TransformRequest) (CmdResponse, error) {
 	if len(req.Args) > 0 {
 		line += " " + strings.Join(req.Args, " ")
 	}
-	return ss.Cmd(line)
+	return ss.Cmd(ctx, line)
 }
 
 // Edit replaces (or deletes) a statement by ID (materializes).
-func (ss *Session) Edit(req EditRequest) error {
+func (ss *Session) Edit(ctx context.Context, req EditRequest) error {
 	var opErr error
-	if err := ss.post(func() {
+	if err := ss.post(ctx, func() {
 		if opErr = ss.materialize(); opErr != nil {
 			return
 		}
@@ -227,9 +372,9 @@ func (ss *Session) Edit(req EditRequest) error {
 
 // Undo reverts the last transformation or edit (materializes; a
 // session with no mutations has nothing to undo, exactly as cold).
-func (ss *Session) Undo() error {
+func (ss *Session) Undo(ctx context.Context) error {
 	var opErr error
-	if err := ss.post(func() {
+	if err := ss.post(ctx, func() {
 		if opErr = ss.materialize(); opErr == nil {
 			opErr = ss.live.Undo()
 		}

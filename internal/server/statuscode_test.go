@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOpErrorStatusTable pins the error → status mapping used by
+// every session handler: only a closed session is 410; a quarantined
+// session is 500, backpressure is 429, deadlines are 504, client
+// disconnects are 499, and everything else is a 422 command-level
+// rejection.
+func TestOpErrorStatusTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"closed", ErrSessionClosed, http.StatusGone},
+		{"closed wrapped", fmt.Errorf("op: %w", ErrSessionClosed), http.StatusGone},
+		{"failed", ErrSessionFailed, http.StatusInternalServerError},
+		{"failed wrapped", fmt.Errorf("%w: analysis panicked", ErrSessionFailed), http.StatusInternalServerError},
+		{"queue full", ErrQueueFull, http.StatusTooManyRequests},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, statusClientClosedRequest},
+		{"command error", errors.New("loop 99 out of range"), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		writeOpError(w, c.err)
+		if w.Code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, w.Code, c.want)
+		}
+		if c.err == ErrQueueFull && w.Header().Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+	}
+}
+
+// sessionHandlers enumerates every {id}-scoped handler with a request
+// that is valid at the JSON layer, so lifecycle errors — not body
+// errors — decide the status.
+func sessionHandlers(s *Server) map[string]func(w http.ResponseWriter, ss *Session) {
+	mk := func(h func(http.ResponseWriter, *http.Request, *Session), method, body string) func(http.ResponseWriter, *Session) {
+		return func(w http.ResponseWriter, ss *Session) {
+			var rd io.Reader
+			if body != "" {
+				rd = strings.NewReader(body)
+			}
+			h(w, httptest.NewRequest(method, "/", rd), ss)
+		}
+	}
+	return map[string]func(http.ResponseWriter, *Session){
+		"cmd":       mk(s.handleCmd, http.MethodPost, `{"line":"loops"}`),
+		"select":    mk(s.handleSelect, http.MethodPost, `{"loop":1}`),
+		"deps":      mk(s.handleDeps, http.MethodGet, ""),
+		"classify":  mk(s.handleClassify, http.MethodPost, `{"var":"a","class":"private"}`),
+		"transform": mk(s.handleTransform, http.MethodPost, `{"name":"parallelize","args":["1"],"check_only":true}`),
+		"edit":      mk(s.handleEdit, http.MethodPost, `{"stmt":1,"text":"x = 1"}`),
+		"undo":      mk(s.handleUndo, http.MethodPost, ""),
+	}
+}
+
+// TestClosedSessionIs410Everywhere covers the regression where
+// handleCmd and handleTransform mapped *every* session error to 410:
+// now a closed session is 410 on every handler, and a quarantined
+// session is 500 on every handler — never the other way around.
+func TestClosedAndFailedSessionStatusAllHandlers(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 8})
+	srv := New(m)
+
+	closed, closedResp := mustOpen(t, m, "onedim")
+	m.Close(closedResp.ID)
+
+	failed, _ := mustOpen(t, m, "onedim")
+	failed.quarantine("injected panic for status test", []byte("stack"))
+
+	for name, call := range sessionHandlers(srv) {
+		w := httptest.NewRecorder()
+		call(w, closed)
+		if w.Code != http.StatusGone {
+			t.Errorf("%s on closed session: status %d, want 410 (body %s)", name, w.Code, w.Body.String())
+		}
+		w = httptest.NewRecorder()
+		call(w, failed)
+		if w.Code != http.StatusInternalServerError {
+			t.Errorf("%s on failed session: status %d, want 500 (body %s)", name, w.Code, w.Body.String())
+		}
+		if !strings.Contains(w.Body.String(), "session failed") {
+			t.Errorf("%s on failed session: diagnostic body missing, got %s", name, w.Body.String())
+		}
+	}
+}
+
+// TestHTTPStatusCodes drives the real HTTP stack through every
+// distinct rejection: malformed bodies, unknown fields, trailing
+// garbage, oversized bodies, unknown sessions/workloads, command
+// errors, and the session cap.
+func TestHTTPStatusCodes(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 8, MaxSessions: 2})
+	ts := httptest.NewServer(NewWith(m, Options{MaxBodyBytes: 4096}))
+	defer ts.Close()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Malformed JSON.
+	if code, _ := post("/v1/sessions", `{"workload":`); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: %d, want 400", code)
+	}
+	// Unknown field, named in the message.
+	code, body := post("/v1/sessions", `{"wrkload":"onedim"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", code)
+	}
+	if !strings.Contains(body, "wrkload") {
+		t.Errorf("unknown-field message does not name the field: %s", body)
+	}
+	// Trailing garbage after the JSON value.
+	code, body = post("/v1/sessions", `{"workload":"onedim"} {"x":1}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("trailing garbage: %d, want 400", code)
+	}
+	if !strings.Contains(body, "trailing") {
+		t.Errorf("trailing-garbage message: %s", body)
+	}
+	// Oversized body.
+	big := `{"path":"big.f","source":"` + strings.Repeat("x", 8192) + `"}`
+	if code, _ := post("/v1/sessions", big); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: %d, want 413", code)
+	}
+	// Unknown workload / empty open are command-level rejections.
+	if code, _ := post("/v1/sessions", `{"workload":"nosuch"}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown workload: %d, want 422", code)
+	}
+	if code, _ := post("/v1/sessions", `{}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty open: %d, want 422", code)
+	}
+	// Unknown session on every {id} route.
+	for _, r := range []struct{ method, path, body string }{
+		{"POST", "/v1/sessions/nope/cmd", `{"line":"loops"}`},
+		{"POST", "/v1/sessions/nope/select", `{"loop":1}`},
+		{"GET", "/v1/sessions/nope/deps", ""},
+		{"GET", "/v1/sessions/nope", ""},
+		{"POST", "/v1/sessions/nope/classify", `{"var":"a","class":"private"}`},
+		{"POST", "/v1/sessions/nope/transform", `{"name":"parallelize"}`},
+		{"POST", "/v1/sessions/nope/edit", `{"stmt":1,"text":"x = 1"}`},
+		{"POST", "/v1/sessions/nope/undo", ""},
+	} {
+		var code int
+		if r.method == "GET" {
+			code, _ = get(r.path)
+		} else {
+			code, _ = post(r.path, r.body)
+		}
+		if code != http.StatusNotFound {
+			t.Errorf("%s %s: %d, want 404", r.method, r.path, code)
+		}
+	}
+
+	// Fill the session cap, then expect 503 + Retry-After.
+	if code, _ := post("/v1/sessions", `{"workload":"onedim"}`); code != http.StatusCreated {
+		t.Fatalf("open 1: %d", code)
+	}
+	code, _ = post("/v1/sessions", `{"workload":"onedim"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("open 2: %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{"workload":"onedim"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("open past cap: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	// Closing a session frees a slot.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/s1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("close: %d", dresp.StatusCode)
+	}
+	if code, _ := post("/v1/sessions", `{"workload":"onedim"}`); code != http.StatusCreated {
+		t.Errorf("open after close: %d, want 201", code)
+	}
+
+	// A command-level failure on a live session is 422, not 410.
+	if code, _ := post("/v1/sessions/s2/select", `{"loop":99}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad select: %d, want 422", code)
+	}
+
+	// Status endpoint for a healthy session.
+	code, body = get("/v1/sessions/s2")
+	if code != http.StatusOK {
+		t.Errorf("status: %d, want 200", code)
+	}
+	if !strings.Contains(body, `"state":"active"`) {
+		t.Errorf("status body missing active state: %s", body)
+	}
+}
+
+// TestRequestDeadline504 checks the per-request deadline end to end:
+// a command that outlives Options.ReqTimeout answers 504 instead of
+// hanging the client.
+func TestRequestDeadline504(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 8})
+	ts := httptest.NewServer(NewWith(m, Options{ReqTimeout: 50 * time.Millisecond}))
+	defer ts.Close()
+
+	_, resp := mustOpen(t, m, "onedim")
+	ss := m.Get(resp.ID)
+	// Wedge the actor directly (a sleeping command), then issue an
+	// HTTP request that must time out while queued.
+	block := make(chan struct{})
+	go ss.post(context.Background(), func() { <-block }, false)
+	defer close(block)
+	time.Sleep(10 * time.Millisecond) // let the actor pick up the block
+
+	hresp, err := http.Post(ts.URL+"/v1/sessions/"+resp.ID+"/cmd", "application/json",
+		strings.NewReader(`{"line":"loops"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusGatewayTimeout {
+		b, _ := io.ReadAll(hresp.Body)
+		t.Fatalf("blocked command: %d (%s), want 504", hresp.StatusCode, b)
+	}
+}

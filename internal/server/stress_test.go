@@ -34,7 +34,7 @@ func TestStressConcurrentSessions(t *testing.T) {
 			var ids []string
 			for k := 0; k < sessionsPerClient; k++ {
 				w := names[(g*workloadsPerClient+k)%len(names)]
-				open, err := c.Open(OpenRequest{Workload: w})
+				open, err := c.Open(bg, OpenRequest{Workload: w})
 				if err != nil {
 					errCh <- fmt.Errorf("client %d: open %s: %v", g, w, err)
 					return
@@ -43,16 +43,16 @@ func TestStressConcurrentSessions(t *testing.T) {
 			}
 			for round := 0; round < 3; round++ {
 				for _, id := range ids {
-					if _, err := c.Select(id, SelectRequest{Loop: 1}); err != nil {
+					if _, err := c.Select(bg, id, SelectRequest{Loop: 1}); err != nil {
 						errCh <- fmt.Errorf("client %d: select: %v", g, err)
 						return
 					}
-					if _, err := c.Deps(id, DepQuery{}); err != nil {
+					if _, err := c.Deps(bg, id, DepQuery{}); err != nil {
 						errCh <- fmt.Errorf("client %d: deps: %v", g, err)
 						return
 					}
 					for _, line := range []string{"units", "loops", "vars", "perf"} {
-						resp, err := c.Cmd(id, line)
+						resp, err := c.Cmd(bg, id, line)
 						if err != nil {
 							errCh <- fmt.Errorf("client %d: %s: %v", g, line, err)
 							return
@@ -64,14 +64,14 @@ func TestStressConcurrentSessions(t *testing.T) {
 					}
 					// Command-level verdicts (not applicable, unsafe)
 					// are fine; transport errors are not.
-					if _, err := c.Transform(id, TransformRequest{Name: "parallelize", Args: []string{"1"}}); err != nil {
+					if _, err := c.Transform(bg, id, TransformRequest{Name: "parallelize", Args: []string{"1"}}); err != nil {
 						errCh <- fmt.Errorf("client %d: transform: %v", g, err)
 						return
 					}
 				}
 			}
 			for _, id := range ids {
-				if err := c.CloseSession(id); err != nil {
+				if err := c.CloseSession(bg, id); err != nil {
 					errCh <- fmt.Errorf("client %d: close: %v", g, err)
 					return
 				}
@@ -83,7 +83,7 @@ func TestStressConcurrentSessions(t *testing.T) {
 	for err := range errCh {
 		t.Error(err)
 	}
-	if left := len(m.List()); left != 0 {
+	if left := len(m.List(bg)); left != 0 {
 		t.Fatalf("%d sessions leaked", left)
 	}
 }
@@ -108,7 +108,7 @@ func TestStressSharedSession(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				line := lines[(g+i)%len(lines)]
-				out, err := ss.Cmd(line)
+				out, err := ss.Cmd(bg, line)
 				if err != nil {
 					errCh <- fmt.Errorf("goroutine %d: %s: %v", g, line, err)
 					return
@@ -140,7 +140,7 @@ func TestStressCloseWhileBusy(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				for i := 0; i < 5; i++ {
-					if _, err := ss.Cmd("loops"); err != nil {
+					if _, err := ss.Cmd(bg, "loops"); err != nil {
 						return // ErrSessionClosed is expected
 					}
 				}
@@ -148,7 +148,7 @@ func TestStressCloseWhileBusy(t *testing.T) {
 		}
 		m.Close(resp.ID)
 		wg.Wait()
-		if _, err := ss.Cmd("loops"); err != ErrSessionClosed {
+		if _, err := ss.Cmd(bg, "loops"); err != ErrSessionClosed {
 			t.Fatalf("round %d: cmd after close: %v", round, err)
 		}
 	}
