@@ -199,7 +199,7 @@ func BenchmarkAnalysisCache(b *testing.B) {
 		m := server.NewManager(server.Config{}) // cache disabled
 		defer m.Shutdown()
 		for i := 0; i < b.N; i++ {
-			_, resp, err := m.Open(server.OpenRequest{Workload: "spec77"})
+			_, resp, err := m.Open(context.Background(), server.OpenRequest{Workload: "spec77"})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -212,14 +212,14 @@ func BenchmarkAnalysisCache(b *testing.B) {
 	b.Run("warm", func(b *testing.B) {
 		m := server.NewManager(server.Config{CacheSize: 8})
 		defer m.Shutdown()
-		_, prime, err := m.Open(server.OpenRequest{Workload: "spec77"})
+		_, prime, err := m.Open(context.Background(), server.OpenRequest{Workload: "spec77"})
 		if err != nil {
 			b.Fatal(err)
 		}
 		m.Close(prime.ID)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			_, resp, err := m.Open(server.OpenRequest{Workload: "spec77"})
+			_, resp, err := m.Open(context.Background(), server.OpenRequest{Workload: "spec77"})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -154,7 +154,10 @@ func TestChaosPanicAndHangIsolation(t *testing.T) {
 
 	t.Cleanup(faultpoint.Reset)
 	faultpoint.Arm(faultpoint.Analyze, faultpoint.Fault{Match: "boom.f", Panic: true})
-	faultpoint.Arm(faultpoint.Transform, faultpoint.Fault{Match: "hang.f", Delay: 3 * time.Second})
+	// The delay must comfortably outlive the 200ms request deadline but
+	// stay short enough that the test can wait for the actor to wake
+	// (see the sentinel below) without dragging the suite.
+	faultpoint.Arm(faultpoint.Transform, faultpoint.Fault{Match: "hang.f", Delay: 600 * time.Millisecond})
 
 	// The hung request goes through a second handler over the same
 	// manager with a tight deadline, so only it races the clock.
@@ -219,6 +222,15 @@ func TestChaosPanicAndHangIsolation(t *testing.T) {
 	if !errors.As(hangErr, &apiErr) || apiErr.Status != http.StatusGatewayTimeout {
 		t.Fatalf("hung transform: got %v, want APIError 504", hangErr)
 	}
+	// Wait for the abandoned transform to actually wake and finish
+	// while -race is still watching: its post-deadline writes are the
+	// exact access the zero-value error paths exist to keep unread. A
+	// sentinel through the default (30s) server queues behind the
+	// sleeping command, so its success proves the actor drained past it
+	// and the session recovered rather than staying wedged.
+	if _, err := client.Cmd(context.Background(), hang.ID, "loops"); err != nil {
+		t.Errorf("hang session after its command woke: %v", err)
+	}
 
 	// And the 16 healthy sessions never noticed: byte-identical.
 	for i := range ids {
@@ -240,6 +252,35 @@ func TestChaosPanicAndHangIsolation(t *testing.T) {
 		if st.State != "active" {
 			t.Errorf("healthy session %s state %q after chaos, want active", id, st.State)
 		}
+	}
+}
+
+// TestDeadlineMidExecution pins the response-confinement contract: a
+// command whose deadline expires while it is executing must return
+// zero values — the captured response belongs to the actor, which
+// writes it when the command eventually finishes, and any read of it
+// on the error path is a data race (this test reads the returned
+// values and then forces the actor to wake under -race, so a
+// regression to `return resp, err` is flagged deterministically).
+func TestDeadlineMidExecution(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 8})
+	ss, _ := mustOpen(t, m, "onedim")
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm(faultpoint.Transform, faultpoint.Fault{Match: "onedim.f", Delay: 400 * time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(bg, 100*time.Millisecond)
+	defer cancel()
+	resp, err := ss.Cmd(ctx, "apply parallelize 1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-execution deadline: got %v, want context.DeadlineExceeded", err)
+	}
+	if resp.Output != "" || resp.Err != "" {
+		t.Fatalf("timed-out command leaked a partial response: %+v", resp)
+	}
+	// Drain past the still-sleeping command so its post-deadline writes
+	// happen while -race is watching, and prove the session recovered.
+	if _, err := ss.Cmd(bg, "loops"); err != nil {
+		t.Fatalf("sentinel after the abandoned command woke: %v", err)
 	}
 }
 
@@ -306,6 +347,49 @@ func TestQueuedCommandAbandonedOnDisconnect(t *testing.T) {
 	}
 }
 
+// TestOpenDeadline pins the open-time contract: a hung parse cannot
+// wedge the caller past its deadline, cannot leak its reserved
+// MaxSessions slot once it returns, and the abandoned analysis still
+// salvages its artifacts into the cache.
+func TestOpenDeadline(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 8, MaxSessions: 1})
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm(faultpoint.Parse, faultpoint.Fault{Match: "slowopen.f", Delay: 400 * time.Millisecond, Times: 1})
+
+	ctx, cancel := context.WithTimeout(bg, 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := m.Open(ctx, OpenRequest{Path: "slowopen.f", Source: hangSource})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("open past its deadline: got %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 300*time.Millisecond {
+		t.Fatalf("open blocked %v on a hung parse instead of honoring its deadline", waited)
+	}
+
+	// The abandoned analysis still owns the only slot...
+	if _, _, err := m.Open(bg, OpenRequest{Workload: "onedim"}); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("open while an abandoned analysis holds the slot: got %v, want ErrTooManySessions", err)
+	}
+	// ...until it returns, which releases the reservation.
+	waitFor(t, func() bool {
+		_, resp, err := m.Open(bg, OpenRequest{Workload: "onedim"})
+		if err == nil {
+			m.Close(resp.ID)
+		}
+		return err == nil
+	})
+	// And its artifacts were salvaged: reopening the slow source is a
+	// cache hit — no reparse, so the Times-bounded fault stays quiet.
+	_, resp, err := m.Open(bg, OpenRequest{Path: "slowopen.f", Source: hangSource})
+	if err != nil {
+		t.Fatalf("reopen after abandoned analysis: %v", err)
+	}
+	if !resp.Cached {
+		t.Error("abandoned analysis did not salvage its artifacts into the cache")
+	}
+}
+
 // TestJanitorRace hammers Open/Cmd/Sweep/Close concurrently with an
 // aggressive TTL: every command must either succeed with real output
 // or fail with ErrSessionClosed — never panic, never return garbage.
@@ -323,7 +407,7 @@ func TestJanitorRace(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				ss, resp, err := m.Open(OpenRequest{Workload: "onedim"})
+				ss, resp, err := m.Open(bg, OpenRequest{Workload: "onedim"})
 				if err != nil {
 					t.Errorf("open: %v", err)
 					return

@@ -109,8 +109,18 @@ func (m *Manager) janitor(every time.Duration) {
 // fails; at the cap Open returns ErrTooManySessions without doing any
 // work. A panic during open-time analysis is recovered and returned
 // as an error wrapping ErrInternal — it cannot take down the daemon.
-func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
+//
+// The cold-open analysis runs under ctx: when it expires (request
+// deadline, client disconnect) Open returns ctx.Err() immediately
+// while the analysis finishes on its own goroutine — the reserved
+// MaxSessions slot is released (and any built artifacts cached) only
+// when it does, so a hung parse cannot wedge the handler, and cannot
+// leak admission capacity beyond its own lifetime.
+func (m *Manager) Open(ctx context.Context, req OpenRequest) (*Session, OpenResponse, error) {
 	var resp OpenResponse
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	path, source := req.Path, req.Source
 	if req.Workload != "" {
 		w := workloads.ByName(req.Workload)
@@ -125,6 +135,9 @@ func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
 	if path == "" {
 		path = "input.f"
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, resp, err
+	}
 	m.mu.Lock()
 	if m.cfg.MaxSessions > 0 && len(m.sessions)+m.reserved >= m.cfg.MaxSessions {
 		m.mu.Unlock()
@@ -132,14 +145,11 @@ func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
 	}
 	m.reserved++
 	m.mu.Unlock()
-	admitted := false
-	defer func() {
-		if !admitted {
-			m.mu.Lock()
-			m.reserved--
-			m.mu.Unlock()
-		}
-	}()
+	release := func() {
+		m.mu.Lock()
+		m.reserved--
+		m.mu.Unlock()
+	}
 
 	key := core.AnalysisKey(path, source, dep.DefaultOptions(), false)
 	art := m.cache.Get(key)
@@ -149,16 +159,41 @@ func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
 	if art != nil {
 		units = art.UnitNames()
 	} else {
-		cs, newArt, err := m.analyzeOpen(key, path, source)
-		if err != nil {
-			return nil, resp, err
+		type openResult struct {
+			cs  *core.Session
+			art *Artifacts
+			err error
 		}
-		live = cs
-		for _, u := range cs.File.Units {
+		ch := make(chan openResult, 1)
+		go func() {
+			cs, newArt, err := m.analyzeOpen(key, path, source)
+			ch <- openResult{cs, newArt, err}
+		}()
+		var res openResult
+		select {
+		case res = <-ch:
+		case <-ctx.Done():
+			// Abandon the open but not the bookkeeping: the analysis
+			// goroutine still owns a reserved slot until it returns.
+			go func() {
+				res := <-ch
+				if res.err == nil && res.art != nil {
+					m.cache.Put(res.art)
+				}
+				release()
+			}()
+			return nil, resp, ctx.Err()
+		}
+		if res.err != nil {
+			release()
+			return nil, resp, res.err
+		}
+		live = res.cs
+		for _, u := range live.File.Units {
 			units = append(units, u.Name)
 		}
-		if newArt != nil {
-			art = newArt
+		if res.art != nil {
+			art = res.art
 			m.cache.Put(art)
 		}
 	}
@@ -168,7 +203,6 @@ func (m *Manager) Open(req OpenRequest) (*Session, OpenResponse, error) {
 	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth)
 	m.sessions[id] = ss
 	m.reserved--
-	admitted = true
 	m.mu.Unlock()
 	resp = OpenResponse{ID: id, Path: path, Units: units, Cached: cached}
 	return ss, resp, nil
@@ -202,10 +236,14 @@ func (m *Manager) Get(id string) *Session {
 	return m.sessions[id]
 }
 
+// listInfoConcurrency bounds the parallel Info fan-out in List.
+const listInfoConcurrency = 16
+
 // List snapshots every session, ordered by ID. Sessions whose actor
 // cannot answer within the per-session info budget (hung or
 // saturated) degrade to their static fields rather than stalling the
-// listing.
+// listing; the Info calls fan out (bounded) so N wedged sessions cost
+// one budget per batch of listInfoConcurrency, not N budgets serially.
 func (m *Manager) List(ctx context.Context) []SessionInfo {
 	m.mu.Lock()
 	all := make([]*Session, 0, len(m.sessions))
@@ -213,10 +251,19 @@ func (m *Manager) List(ctx context.Context) []SessionInfo {
 		all = append(all, ss)
 	}
 	m.mu.Unlock()
-	out := make([]SessionInfo, 0, len(all))
-	for _, ss := range all {
-		out = append(out, ss.Info(ctx))
+	out := make([]SessionInfo, len(all))
+	sem := make(chan struct{}, listInfoConcurrency)
+	var wg sync.WaitGroup
+	for i, ss := range all {
+		wg.Add(1)
+		go func(i int, ss *Session) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = ss.Info(ctx)
+		}(i, ss)
 	}
+	wg.Wait()
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].ID) != len(out[j].ID) {
 			return len(out[i].ID) < len(out[j].ID)

@@ -132,7 +132,7 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	_, resp, err := s.mgr.Open(req)
+	_, resp, err := s.mgr.Open(r.Context(), req)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrTooManySessions):
@@ -140,6 +140,10 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrInternal):
 			writeError(w, http.StatusInternalServerError, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			writeError(w, statusClientClosedRequest, err)
 		default:
 			writeError(w, http.StatusUnprocessableEntity, err)
 		}

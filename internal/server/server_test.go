@@ -22,7 +22,7 @@ func newTestManager(t *testing.T, cfg Config) *Manager {
 
 func mustOpen(t *testing.T, m *Manager, workload string) (*Session, OpenResponse) {
 	t.Helper()
-	ss, resp, err := m.Open(OpenRequest{Workload: workload})
+	ss, resp, err := m.Open(bg, OpenRequest{Workload: workload})
 	if err != nil {
 		t.Fatalf("open %s: %v", workload, err)
 	}
@@ -126,10 +126,10 @@ const tinySrc = `
 // the selection it had.
 func TestMaterializeOnMutation(t *testing.T) {
 	m := newTestManager(t, Config{CacheSize: 8})
-	if _, _, err := m.Open(OpenRequest{Path: "tiny.f", Source: tinySrc}); err != nil {
+	if _, _, err := m.Open(bg, OpenRequest{Path: "tiny.f", Source: tinySrc}); err != nil {
 		t.Fatal(err)
 	}
-	ss, resp, err := m.Open(OpenRequest{Path: "tiny.f", Source: tinySrc})
+	ss, resp, err := m.Open(bg, OpenRequest{Path: "tiny.f", Source: tinySrc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 
 func TestOpenRawSource(t *testing.T) {
 	m := newTestManager(t, Config{CacheSize: 8})
-	ss, resp, err := m.Open(OpenRequest{Path: "tiny.f", Source: tinySrc})
+	ss, resp, err := m.Open(bg, OpenRequest{Path: "tiny.f", Source: tinySrc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,10 +344,10 @@ func TestOpenRawSource(t *testing.T) {
 	if !strings.Contains(out, "do ") {
 		t.Fatalf("loops = %q", out)
 	}
-	if _, _, err := m.Open(OpenRequest{Path: "bad.f", Source: "this is not fortran"}); err == nil {
+	if _, _, err := m.Open(bg, OpenRequest{Path: "bad.f", Source: "this is not fortran"}); err == nil {
 		t.Fatal("parse error should fail the open")
 	}
-	if _, _, err := m.Open(OpenRequest{}); err == nil {
+	if _, _, err := m.Open(bg, OpenRequest{}); err == nil {
 		t.Fatal("empty open should fail")
 	}
 }

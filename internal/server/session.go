@@ -283,6 +283,11 @@ func (ss *Session) Info(ctx context.Context) SessionInfo {
 // Cmd executes one REPL command line. The returned error is a
 // transport/lifecycle failure (closed, failed, queue full, context);
 // command-level failures ride in CmdResponse.Err.
+//
+// When post fails — notably when ctx expires while the command is
+// still executing — the captured response belongs to the actor, which
+// may write it after we return; every error path here (and in the
+// other ops below) must return zero values and never read it.
 func (ss *Session) Cmd(ctx context.Context, line string) (CmdResponse, error) {
 	var resp CmdResponse
 	err := ss.post(ctx, func() {
@@ -292,7 +297,10 @@ func (ss *Session) Cmd(ctx context.Context, line string) (CmdResponse, error) {
 			resp.Err = cmdErr.Error()
 		}
 	}, true)
-	return resp, err
+	if err != nil {
+		return CmdResponse{}, err
+	}
+	return resp, nil
 }
 
 // Select switches unit and/or loop.
@@ -300,7 +308,7 @@ func (ss *Session) Select(ctx context.Context, req SelectRequest) (SelectRespons
 	var resp SelectResponse
 	var opErr error
 	if err := ss.post(ctx, func() { resp, opErr = ss.doSelect(req) }, true); err != nil {
-		return resp, err
+		return SelectResponse{}, err
 	}
 	return resp, opErr
 }
@@ -309,7 +317,7 @@ func (ss *Session) Select(ctx context.Context, req SelectRequest) (SelectRespons
 func (ss *Session) Deps(ctx context.Context, q DepQuery) (DepsResponse, error) {
 	var resp DepsResponse
 	if err := ss.post(ctx, func() { resp = ss.doDeps(q) }, true); err != nil {
-		return resp, err
+		return DepsResponse{}, err
 	}
 	return resp, nil
 }
