@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -174,5 +175,29 @@ func TestRemoteModeSurvivesBackpressure(t *testing.T) {
 	}
 	if len(mgr.List(context.Background())) != 0 {
 		t.Fatal("sessions leaked through the flaky proxy")
+	}
+}
+
+// TestRemoteRequestIDOnFailure: a failing remote operation must
+// surface the request ID end to end — client generates it, the
+// daemon echoes it, and ped prints it — so a user's error report can
+// be correlated with the daemon's access log.
+func TestRemoteRequestIDOnFailure(t *testing.T) {
+	bin := buildPed(t)
+	mgr := server.NewManager(server.Config{CacheSize: 8})
+	defer mgr.Shutdown()
+	ts := httptest.NewServer(server.New(mgr))
+	defer ts.Close()
+
+	_, stderr, code := runPed(t, bin, "",
+		"-remote", ts.URL, "-batch", "-workload", "no-such-workload")
+	if code == 0 {
+		t.Fatal("open of unknown workload exited 0")
+	}
+	if !strings.Contains(stderr, "no-such-workload") {
+		t.Fatalf("stderr does not name the workload: %s", stderr)
+	}
+	if !regexp.MustCompile(`\[req [0-9a-f]{16}\]`).MatchString(stderr) {
+		t.Fatalf("stderr carries no request ID: %s", stderr)
 	}
 }

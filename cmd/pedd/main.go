@@ -9,11 +9,20 @@
 //
 //	pedd                      # listen on :7473
 //	pedd -addr :8080 -ttl 10m -cache 256 -workers 4
+//	pedd -opsaddr 127.0.0.1:7474   # also expose /metrics and pprof
 //
 // Then:
 //
 //	curl -s localhost:7473/v1/sessions -d '{"workload":"arc3d"}'
 //	curl -s localhost:7473/v1/sessions/s1/cmd -d '{"line":"loops"}'
+//	curl -s localhost:7474/metrics
+//
+// The ops listener (-opsaddr, off by default) serves the Prometheus
+// text exposition at /metrics and net/http/pprof under /debug/pprof/,
+// on a port separate from the serving one so profiling and scraping
+// never contend with request traffic. Every request carries an
+// X-Request-ID (generated when the client sends none) that appears in
+// the structured access log on stderr and in error response bodies.
 package main
 
 import (
@@ -21,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,8 +41,11 @@ import (
 	"parascope/internal/server"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	addr := flag.String("addr", ":7473", "listen address")
+	opsAddr := flag.String("opsaddr", "", "ops listen address for GET /metrics and /debug/pprof/ (empty = disabled)")
 	ttl := flag.Duration("ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
 	cacheSize := flag.Int("cache", 128, "analysis cache capacity in programs (0 disables)")
 	workers := flag.Int("workers", 0, "per-open analysis worker pool size (0 = GOMAXPROCS)")
@@ -39,37 +53,85 @@ func main() {
 	maxBody := flag.Int64("maxbody", server.DefaultMaxBodyBytes, "request body size cap in bytes; larger bodies get 413 (negative disables)")
 	maxSessions := flag.Int("maxsessions", 0, "live session cap; opens past it get 503 (0 = unlimited)")
 	queueDepth := flag.Int("queue", 0, "per-session pending-command queue depth; full queues get 429 (0 = default)")
+	accessLog := flag.Bool("accesslog", true, "write one structured log line per request to stderr")
 	flag.Parse()
 
+	metrics := server.NewMetrics()
 	mgr := server.NewManager(server.Config{
 		TTL:         *ttl,
 		CacheSize:   *cacheSize,
 		Workers:     *workers,
 		MaxSessions: *maxSessions,
 		QueueDepth:  *queueDepth,
+		Metrics:     metrics,
 	})
+	opts := server.Options{ReqTimeout: *reqTimeout, MaxBodyBytes: *maxBody, Metrics: metrics}
+	if *accessLog {
+		opts.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.NewWith(mgr, server.Options{ReqTimeout: *reqTimeout, MaxBodyBytes: *maxBody}),
+		Handler:           server.NewWith(mgr, opts),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Bind before claiming to listen: a port-in-use failure must be
+	// reported immediately (and exclusively), and -addr :0 must log
+	// the port the kernel actually picked.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pedd: %v\n", err)
+		return 1
+	}
+	var opsSrv *http.Server
+	var opsLn net.Listener
+	if *opsAddr != "" {
+		opsLn, err = net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pedd: ops: %v\n", err)
+			_ = ln.Close()
+			return 1
+		}
+		opsSrv = &http.Server{
+			Handler:           server.OpsHandler(metrics),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+	}
+	log.Printf("pedd: listening on %s (ttl %s, cache %d)", ln.Addr(), *ttl, *cacheSize)
+	if opsSrv != nil {
+		log.Printf("pedd: ops listening on %s (/metrics, /debug/pprof/)", opsLn.Addr())
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && err != http.ErrServerClosed {
+				log.Printf("pedd: ops: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("pedd: listening on %s (ttl %s, cache %d)", *addr, *ttl, *cacheSize)
+	go func() { errCh <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "pedd: %v\n", err)
-		os.Exit(1)
+		return 1
 	case <-ctx.Done():
 	}
 	log.Printf("pedd: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	_ = srv.Shutdown(shutCtx)
+	code := 0
+	// A failed drain (connections still active at the deadline) is an
+	// abnormal stop: say so and exit non-zero so orchestrators can
+	// tell it from a clean one.
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("pedd: shutdown: drain incomplete: %v", err)
+		code = 1
+	}
+	if opsSrv != nil {
+		_ = opsSrv.Close()
+	}
 	mgr.Shutdown()
+	return code
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildPedd compiles the pedd binary into a test temp dir.
+func buildPedd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pedd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestBindFailureReportedBeforeListening: when the port is taken,
+// pedd must exit non-zero with the bind error and must never claim to
+// be listening — the regression this pins is the old code logging
+// "listening on" before ListenAndServe had bound the socket.
+func TestBindFailureReportedBeforeListening(t *testing.T) {
+	bin := buildPedd(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cmd := exec.Command(bin, "-addr", ln.Addr().String())
+	out, err := cmd.CombinedOutput()
+	var exitErr *exec.ExitError
+	if err == nil || !errors.As(err, &exitErr) {
+		t.Fatalf("pedd on a taken port: err=%v, want non-zero exit\noutput: %s", err, out)
+	}
+	if !strings.Contains(string(out), "pedd:") {
+		t.Errorf("bind failure not reported: %s", out)
+	}
+	if strings.Contains(string(out), "listening on") {
+		t.Errorf("pedd claimed to listen despite bind failure:\n%s", out)
+	}
+}
+
+// peddInstance is a running daemon started on ephemeral ports.
+type peddInstance struct {
+	cmd     *exec.Cmd
+	addr    string // main serving address
+	opsAddr string // ops address ("" if not enabled)
+	output  *bytes.Buffer
+}
+
+var (
+	listenRe    = regexp.MustCompile(`pedd: listening on (\S+)`)
+	opsListenRe = regexp.MustCompile(`pedd: ops listening on (\S+)`)
+)
+
+// startPedd launches pedd -addr :0 [-opsaddr :0] and scans its stderr
+// until both listen lines appear, proving the logged addresses carry
+// the real kernel-assigned ports.
+func startPedd(t *testing.T, withOps bool) *peddInstance {
+	t.Helper()
+	bin := buildPedd(t)
+	args := []string{"-addr", "127.0.0.1:0", "-accesslog=false"}
+	if withOps {
+		args = append(args, "-opsaddr", "127.0.0.1:0")
+	}
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	inst := &peddInstance{cmd: cmd, output: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(30 * time.Second)
+	need := 1
+	if withOps {
+		need = 2
+	}
+	for need > 0 {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("pedd exited before listening:\n%s", inst.output.String())
+			}
+			fmt.Fprintln(inst.output, line)
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				inst.addr = m[1]
+				need--
+			} else if m := opsListenRe.FindStringSubmatch(line); m != nil {
+				inst.opsAddr = m[1]
+				need--
+			}
+		case <-deadline:
+			t.Fatalf("pedd did not report listening in time:\n%s", inst.output.String())
+		}
+	}
+	// Keep draining so the child never blocks on a full stderr pipe.
+	go func() {
+		for line := range lines {
+			fmt.Fprintln(inst.output, line)
+		}
+	}()
+	return inst
+}
+
+// TestAddrZeroLogsRealPortAndServes: -addr :0 must log the actual
+// bound port (not ":0"), that port must serve, the ops listener must
+// expose /metrics and pprof, and SIGINT must produce a clean exit 0.
+func TestAddrZeroLogsRealPortAndServes(t *testing.T) {
+	inst := startPedd(t, true)
+
+	for _, addr := range []string{inst.addr, inst.opsAddr} {
+		if _, port, err := net.SplitHostPort(addr); err != nil || port == "0" || port == "" {
+			t.Fatalf("logged address %q does not carry a real port", addr)
+		}
+	}
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("http://" + inst.addr + "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz on logged addr: status %d", code)
+	}
+	code, body := get("http://" + inst.opsAddr + "/metrics")
+	if code != http.StatusOK {
+		t.Errorf("ops /metrics: status %d", code)
+	}
+	for _, want := range []string{"pedd_http_requests_total", "pedd_sessions_live", "pedd_analysis_phase_seconds"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("ops /metrics missing %s", want)
+		}
+	}
+	if code, _ := get("http://" + inst.opsAddr + "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("ops pprof: status %d", code)
+	}
+	// The serving port must NOT expose the ops surface.
+	if code, _ := get("http://" + inst.addr + "/metrics"); code == http.StatusOK {
+		t.Error("serving port exposes /metrics; ops surface must be isolated")
+	}
+
+	if err := inst.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.cmd.Wait(); err != nil {
+		t.Errorf("clean shutdown exited non-zero: %v\n%s", err, inst.output.String())
+	}
+}

@@ -13,11 +13,21 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"parascope/internal/dep"
 	"parascope/internal/faultpoint"
 	"parascope/internal/fortran"
 )
+
+// PhaseObserver receives the wall time of each analysis phase. The
+// phases reported are "parse", "interproc", "dataflow", "dependence",
+// and "perf"; the per-unit phases fan out on the analysis worker
+// pool, so implementations must be safe for concurrent use. A nil
+// observer costs a single pointer check per phase.
+type PhaseObserver interface {
+	ObservePhase(phase string, d time.Duration)
+}
 
 // analyzeUnits runs analyzeUnit over every unit, concurrently when
 // more than one worker is available. old carries the previous states
@@ -96,14 +106,26 @@ type unitPanic struct {
 // the entry point the pedd server uses so a daemon hosting many
 // sessions can bound its per-open analysis parallelism.
 func OpenWorkers(path, src string, workers int) (*Session, error) {
+	return OpenObserved(path, src, workers, nil)
+}
+
+// OpenObserved is OpenWorkers with per-phase timing: obs (when
+// non-nil) receives the wall time of the parse and of every analysis
+// phase of the initial whole-program analysis, and stays attached to
+// the session so reanalysis after edits is timed too.
+func OpenObserved(path, src string, workers int, obs PhaseObserver) (*Session, error) {
 	if err := faultpoint.Hit(faultpoint.Parse, path); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	f, err := fortran.Parse(path, src)
 	if err != nil {
 		return nil, err
 	}
-	return newSession(f, workers), nil
+	if obs != nil {
+		obs.ObservePhase("parse", time.Since(start))
+	}
+	return newSession(f, workers, obs), nil
 }
 
 // AnalysisKey returns a stable content-hash key for the analysis of

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"parascope/internal/cfg"
 	"parascope/internal/dataflow"
@@ -98,6 +99,10 @@ type Session struct {
 	// Workers bounds the per-unit analysis worker pool used by
 	// AnalyzeAll; 0 means GOMAXPROCS.
 	Workers int
+	// obs receives per-phase analysis timings; nil disables them.
+	// Per-unit phases run concurrently on the worker pool, so the
+	// observer must be concurrency-safe.
+	obs PhaseObserver
 
 	units   map[*fortran.Unit]*UnitState
 	current *fortran.Unit
@@ -146,14 +151,15 @@ func Open(path, src string) (*Session, error) {
 }
 
 // NewSession builds a session over an already-parsed file.
-func NewSession(f *fortran.File) *Session { return newSession(f, 0) }
+func NewSession(f *fortran.File) *Session { return newSession(f, 0, nil) }
 
-func newSession(f *fortran.File, workers int) *Session {
+func newSession(f *fortran.File, workers int, obs PhaseObserver) *Session {
 	s := &Session{
 		File:    f,
 		Opts:    dep.DefaultOptions(),
 		units:   map[*fortran.Unit]*UnitState{},
 		Workers: workers,
+		obs:     obs,
 	}
 	s.Stats.Transformations = map[string]int{}
 	s.AnalyzeAll()
@@ -172,7 +178,14 @@ func newSession(f *fortran.File, workers int) *Session {
 // exist, so they are analyzed concurrently.
 func (s *Session) AnalyzeAll() {
 	s.File.RenumberStmts()
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	s.Prog = interproc.AnalyzeProgram(s.File)
+	if s.obs != nil {
+		s.obs.ObservePhase("interproc", time.Since(t0))
+	}
 	s.est = perf.New(s.File, perf.DefaultParams())
 	// Pre-warm the estimator's per-unit cost memo while still single-
 	// threaded: EstimateUnit reads it from every worker below.
@@ -219,15 +232,32 @@ func (s *Session) analyzeUnit(u *fortran.Unit, prev *UnitState) *UnitState {
 			}
 		}
 	}
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	st.DF = dataflow.Analyze(u, eff)
+	if s.obs != nil {
+		s.obs.ObservePhase("dataflow", time.Since(t0))
+		t0 = time.Now()
+	}
 	st.Deps = dep.Analyze(st.DF, env, summ, s.Opts)
+	if s.obs != nil {
+		s.obs.ObservePhase("dependence", time.Since(t0))
+	}
 	// Restore user markings.
 	for _, d := range st.Deps.Deps {
 		if m, ok := st.marks[keyOf(d)]; ok {
 			d.Mark = m
 		}
 	}
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	st.Est = s.est.EstimateUnit(st.DF)
+	if s.obs != nil {
+		s.obs.ObservePhase("perf", time.Since(t0))
+	}
 	return st
 }
 

@@ -150,7 +150,11 @@ type CacheStatsResponse struct {
 	Misses  int64 `json:"misses"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx response.
+// ErrorResponse is the JSON body of every non-2xx response. The
+// request ID echoes the X-Request-ID header (client-sent or server-
+// generated) so a failure can be correlated with the daemon's access
+// log and traces.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }

@@ -206,6 +206,9 @@ type Cache struct {
 	entries map[string]*list.Element
 	hits    int64
 	misses  int64
+	// metrics mirrors the hit/miss counters into the scrapeable
+	// registry (nil = unmirrored, for caches built outside a Manager).
+	metrics *Metrics
 }
 
 // NewCache creates a cache holding at most max artifact sets.
@@ -228,9 +231,15 @@ func (c *Cache) Get(key string) *Artifacts {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		if c.metrics != nil {
+			c.metrics.CacheMisses.Inc()
+		}
 		return nil
 	}
 	c.hits++
+	if c.metrics != nil {
+		c.metrics.CacheHits.Inc()
+	}
 	c.order.MoveToFront(el)
 	return el.Value.(*Artifacts)
 }

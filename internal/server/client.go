@@ -29,19 +29,26 @@ const (
 )
 
 // APIError is a non-2xx response from the daemon: the status code,
-// the server's error message, and its Retry-After hint (if any), so
-// callers — and the retry loop — can react per status.
+// the server's error message, its Retry-After hint (if any), and the
+// request ID the failing exchange ran under, so callers — and the
+// retry loop — can react per status and correlate the failure with
+// the daemon's access log.
 type APIError struct {
 	Status     int
 	Message    string
 	RetryAfter time.Duration
+	RequestID  string
 }
 
 func (e *APIError) Error() string {
-	if e.Message != "" {
-		return e.Message
+	msg := e.Message
+	if msg == "" {
+		msg = fmt.Sprintf("http status %d", e.Status)
 	}
-	return fmt.Sprintf("http status %d", e.Status)
+	if e.RequestID != "" {
+		return fmt.Sprintf("%s [req %s]", msg, e.RequestID)
+	}
+	return msg
 }
 
 // Client drives a pedd daemon over HTTP — the transport behind
@@ -146,8 +153,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 	}
 	idempotent := method == http.MethodGet || method == http.MethodHead ||
 		method == http.MethodDelete || method == http.MethodPut
+	// One request ID for the whole logical request: retries reuse it,
+	// so the daemon's access log shows every attempt under one ID.
+	reqID := newRequestID()
 	for attempt := 0; ; attempt++ {
-		err := c.attempt(ctx, method, path, payload, in != nil, out)
+		err := c.attempt(ctx, method, path, payload, in != nil, out, reqID)
 		if err == nil {
 			return nil
 		}
@@ -166,7 +176,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 }
 
 // attempt issues one HTTP request under the per-attempt timeout.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, out interface{}) error {
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, out interface{}, reqID string) error {
 	timeout := c.Timeout
 	if timeout == 0 {
 		timeout = DefaultClientTimeout
@@ -187,22 +197,26 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		apiErr := &APIError{Status: resp.StatusCode}
+		apiErr := &APIError{Status: resp.StatusCode, RequestID: reqID}
+		if id := resp.Header.Get("X-Request-ID"); id != "" {
+			apiErr.RequestID = id
+		}
 		var e ErrorResponse
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
 		} else {
 			apiErr.Message = fmt.Sprintf("%s %s: %s", method, path, resp.Status)
 		}
-		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
-		}
+		apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		return apiErr
 	}
 	if out == nil {
@@ -210,6 +224,29 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delta-seconds ("2") or an HTTP-date ("Mon, 02 Jan 2006 15:04:05
+// GMT" and friends, via http.ParseTime). Unparsable values, negative
+// deltas, and dates already in the past yield 0 — no hint, rather
+// than a dropped or bogus one.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Open creates a session.

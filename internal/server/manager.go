@@ -38,12 +38,17 @@ type Config struct {
 	// QueueDepth bounds each session's pending-command queue
 	// (0 = default); a full queue rejects with ErrQueueFull.
 	QueueDepth int
+	// Metrics is the registry fed by the manager, its sessions, and
+	// the analysis cache (nil = a fresh private registry, so the
+	// instrumentation is unconditional either way).
+	Metrics *Metrics
 }
 
 // Manager owns the live sessions and the analysis cache.
 type Manager struct {
-	cfg   Config
-	cache *Cache
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -60,13 +65,18 @@ type Manager struct {
 // NewManager creates a manager and starts its TTL janitor (if TTL is
 // set). Call Shutdown to stop it and close every session.
 func NewManager(cfg Config) *Manager {
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
 	m := &Manager{
 		cfg:      cfg,
+		metrics:  cfg.Metrics,
 		sessions: map[string]*Session{},
 		stop:     make(chan struct{}),
 	}
 	if cfg.CacheSize > 0 {
 		m.cache = NewCache(cfg.CacheSize)
+		m.cache.metrics = m.metrics
 	}
 	if cfg.TTL > 0 {
 		every := cfg.SweepEvery
@@ -200,10 +210,12 @@ func (m *Manager) Open(ctx context.Context, req OpenRequest) (*Session, OpenResp
 	m.mu.Lock()
 	m.seq++
 	id := fmt.Sprintf("s%d", m.seq)
-	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth)
+	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics)
 	m.sessions[id] = ss
 	m.reserved--
 	m.mu.Unlock()
+	m.metrics.SessionsOpened.Inc()
+	m.metrics.SessionsLive.Inc()
 	resp = OpenResponse{ID: id, Path: path, Units: units, Cached: cached}
 	return ss, resp, nil
 }
@@ -219,7 +231,7 @@ func (m *Manager) analyzeOpen(key, path, source string) (cs *core.Session, art *
 			err = fmt.Errorf("%w: analysis of %s panicked: %v", ErrInternal, path, r)
 		}
 	}()
-	cs, err = core.OpenWorkers(path, source, m.cfg.Workers)
+	cs, err = core.OpenObserved(path, source, m.cfg.Workers, m.metrics)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -283,6 +295,8 @@ func (m *Manager) Close(id string) bool {
 		return false
 	}
 	ss.close()
+	m.metrics.SessionsLive.Dec()
+	m.metrics.SessionsClosed.Inc()
 	return true
 }
 
@@ -302,12 +316,17 @@ func (m *Manager) Sweep() int {
 	m.mu.Unlock()
 	for _, ss := range expired {
 		ss.close()
+		m.metrics.SessionsLive.Dec()
+		m.metrics.SessionsEvicted.Inc()
 	}
 	return len(expired)
 }
 
 // CacheStats reports the analysis cache counters.
 func (m *Manager) CacheStats() CacheStatsResponse { return m.cache.Stats() }
+
+// Metrics returns the manager's metric registry.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
 
 // Shutdown stops the janitor and closes every session.
 func (m *Manager) Shutdown() {
@@ -322,5 +341,7 @@ func (m *Manager) Shutdown() {
 	m.mu.Unlock()
 	for _, ss := range all {
 		ss.close()
+		m.metrics.SessionsLive.Dec()
+		m.metrics.SessionsClosed.Inc()
 	}
 }

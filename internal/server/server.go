@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -24,7 +25,7 @@ const (
 	retryAfterSeconds = 1
 )
 
-// Options tunes the HTTP hardening layer.
+// Options tunes the HTTP hardening and observability layers.
 type Options struct {
 	// ReqTimeout is the per-request deadline (0 = DefaultReqTimeout,
 	// negative = disabled).
@@ -32,6 +33,12 @@ type Options struct {
 	// MaxBodyBytes caps request bodies (0 = DefaultMaxBodyBytes,
 	// negative = disabled).
 	MaxBodyBytes int64
+	// Metrics receives request counters and latency histograms
+	// (nil = the manager's registry).
+	Metrics *Metrics
+	// AccessLog, when set, gets one structured line per request
+	// (request ID, method, route, status, duration).
+	AccessLog *slog.Logger
 }
 
 // Server is the HTTP front of a Manager. Routes (all JSON):
@@ -51,14 +58,19 @@ type Options struct {
 //	POST   /v1/sessions/{id}/edit        edit or delete a statement
 //	POST   /v1/sessions/{id}/undo        undo the last change
 //
-// Every request runs under a deadline and a body-size cap, and every
-// session error is mapped to a precise status (see writeOpError) so
-// clients can tell a quarantined session (500) from a closed one
-// (410), backpressure (429/503) from timeout (504).
+// Every request runs under a deadline and a body-size cap, carries an
+// X-Request-ID (generated when the client sends none, echoed on the
+// response and inside error bodies), and is instrumented: per-route
+// counters and latency histograms, plus an optional structured access
+// log. Every session error is mapped to a precise status (see
+// writeOpError) so clients can tell a quarantined session (500) from
+// a closed one (410), backpressure (429/503) from timeout (504).
 type Server struct {
-	mgr  *Manager
-	mux  *http.ServeMux
-	opts Options
+	mgr     *Manager
+	mux     *http.ServeMux
+	opts    Options
+	metrics *Metrics
+	routes  []string
 }
 
 // New wires the routes over a manager with default hardening limits.
@@ -72,47 +84,150 @@ func NewWith(mgr *Manager, opts Options) *Server {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), opts: opts}
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	if opts.Metrics == nil {
+		opts.Metrics = mgr.Metrics()
+	}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), opts: opts, metrics: opts.Metrics}
+	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	s.mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, mgr.CacheStats())
 	})
-	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
-	s.mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /v1/sessions", s.handleOpen)
+	s.handle("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, mgr.List(r.Context()))
 	})
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.session(s.handleStatus))
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("GET /v1/sessions/{id}", s.session(s.handleStatus))
+	s.handle("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if !mgr.Close(r.PathValue("id")) {
 			writeError(w, http.StatusNotFound, errors.New("no such session"))
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	s.mux.HandleFunc("POST /v1/sessions/{id}/cmd", s.session(s.handleCmd))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/select", s.session(s.handleSelect))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/deps", s.session(s.handleDeps))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/classify", s.session(s.handleClassify))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/transform", s.session(s.handleTransform))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/edit", s.session(s.handleEdit))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/undo", s.session(s.handleUndo))
+	s.handle("POST /v1/sessions/{id}/cmd", s.session(s.handleCmd))
+	s.handle("POST /v1/sessions/{id}/select", s.session(s.handleSelect))
+	s.handle("GET /v1/sessions/{id}/deps", s.session(s.handleDeps))
+	s.handle("POST /v1/sessions/{id}/classify", s.session(s.handleClassify))
+	s.handle("POST /v1/sessions/{id}/transform", s.session(s.handleTransform))
+	s.handle("POST /v1/sessions/{id}/edit", s.session(s.handleEdit))
+	s.handle("POST /v1/sessions/{id}/undo", s.session(s.handleUndo))
 	return s
 }
 
-// ServeHTTP implements http.Handler: it imposes the per-request
-// deadline and body cap before routing.
+// handle registers one route through the instrumentation wrapper: the
+// matched mux pattern is captured for the metrics route label and the
+// access log. Every route MUST be added through handle, never
+// directly on s.mux — TestMetricsLintAllRoutesInstrumented reflects
+// over the mux and fails the build of anyone who forgets.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if hold, ok := r.Context().Value(routeKey{}).(*routeHolder); ok {
+			hold.pattern = r.Pattern
+		}
+		h(w, r)
+	})
+}
+
+// Routes lists the registered (instrumented) mux patterns.
+func (s *Server) Routes() []string {
+	out := make([]string, len(s.routes))
+	copy(out, s.routes)
+	return out
+}
+
+// routeKey carries a *routeHolder through the request context so the
+// per-route wrapper can report the matched pattern back to ServeHTTP
+// (the mux sets r.Pattern only on the copy it hands the handler).
+type routeKey struct{}
+
+type routeHolder struct{ pattern string }
+
+// requestIDKey carries the request ID through the request context.
+type requestIDKey struct{}
+
+// RequestIDFrom extracts the request ID placed in the context by the
+// server middleware ("" outside a request).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	if rec.code == 0 {
+		rec.code = code
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(b []byte) (int, error) {
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	return rec.ResponseWriter.Write(b)
+}
+
+func (rec *statusRecorder) status() int {
+	if rec.code == 0 {
+		return http.StatusOK
+	}
+	return rec.code
+}
+
+// ServeHTTP implements http.Handler: it assigns the request ID,
+// imposes the per-request deadline and body cap, routes, and then
+// records the request's route/status/latency in the metrics registry
+// and the access log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	ctx := r.Context()
 	if s.opts.ReqTimeout > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), s.opts.ReqTimeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.ReqTimeout)
 		defer cancel()
-		r = r.WithContext(ctx)
 	}
+	hold := &routeHolder{}
+	ctx = context.WithValue(ctx, routeKey{}, hold)
+	ctx = context.WithValue(ctx, requestIDKey{}, reqID)
+	r = r.WithContext(ctx)
+	rec := &statusRecorder{ResponseWriter: w}
 	if s.opts.MaxBodyBytes > 0 && r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(rec, r.Body, s.opts.MaxBodyBytes)
 	}
-	s.mux.ServeHTTP(w, r)
+	s.metrics.HTTPInflight.Inc()
+	s.mux.ServeHTTP(rec, r)
+	s.metrics.HTTPInflight.Dec()
+	route := hold.pattern
+	if route == "" {
+		// The mux matched nothing (404/405) or the handler was
+		// registered without instrumentation; keep the label bounded.
+		route = "unmatched"
+	}
+	elapsed := time.Since(start)
+	s.metrics.ObserveHTTP(route, r.Method, rec.status(), elapsed)
+	if lg := s.opts.AccessLog; lg != nil {
+		lg.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("req_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", rec.status()),
+			slog.Duration("dur", elapsed),
+		)
+	}
 }
 
 // session resolves {id} before running the handler.
@@ -323,5 +438,11 @@ func writeOpError(w http.ResponseWriter, err error) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	// The middleware stamped X-Request-ID on the response headers;
+	// echoing it in the body makes error payloads self-correlating
+	// even after the transport headers are gone (logs, bug reports).
+	writeJSON(w, status, ErrorResponse{
+		Error:     err.Error(),
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 }

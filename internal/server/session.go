@@ -56,6 +56,9 @@ type Session struct {
 	reqCh   chan task
 	closeMu sync.RWMutex
 	closed  bool
+	// qGauged records that this session incremented the quarantined
+	// gauge (guarded by closeMu), so close() decrements exactly once.
+	qGauged bool
 
 	// failed flips when a command panics: the panic is recovered at
 	// the actor boundary, the session is quarantined, and every later
@@ -67,6 +70,10 @@ type Session struct {
 
 	// workers caps the analysis pool of the materialized session.
 	workers int
+
+	// metrics receives queue/actor/lifecycle observations; always
+	// non-nil (newSession defaults a private registry).
+	metrics *Metrics
 
 	// Actor-confined state below: only the run() goroutine touches it.
 	art     *Artifacts
@@ -81,9 +88,12 @@ type task struct {
 	touch bool
 }
 
-func newSession(id, path, source string, art *Artifacts, live *core.Session, workers, queueDepth int) *Session {
+func newSession(id, path, source string, art *Artifacts, live *core.Session, workers, queueDepth int, metrics *Metrics) *Session {
 	if queueDepth <= 0 {
 		queueDepth = defaultQueueDepth
+	}
+	if metrics == nil {
+		metrics = NewMetrics()
 	}
 	ss := &Session{
 		ID:      id,
@@ -92,6 +102,7 @@ func newSession(id, path, source string, art *Artifacts, live *core.Session, wor
 		created: time.Now(),
 		reqCh:   make(chan task, queueDepth),
 		workers: workers,
+		metrics: metrics,
 	}
 	ss.lastUsed.Store(time.Now().UnixNano())
 	if live != nil {
@@ -141,12 +152,17 @@ func (ss *Session) post(ctx context.Context, fn func(), touch bool) error {
 	done := make(chan struct{})
 	var abandoned atomic.Bool
 	var panicErr error
+	enqueued := time.Now()
 	t := task{touch: touch, fn: func() {
 		defer close(done)
+		ss.metrics.QueueDepth.Dec()
+		ss.metrics.QueueWait.Observe(time.Since(enqueued).Seconds())
 		if abandoned.Load() {
 			return
 		}
+		started := time.Now()
 		defer func() {
+			ss.metrics.ActorService.Observe(time.Since(started).Seconds())
 			if r := recover(); r != nil {
 				ss.quarantine(r, debug.Stack())
 				panicErr = ss.failedErr()
@@ -159,10 +175,14 @@ func (ss *Session) post(ctx context.Context, fn func(), touch bool) error {
 		ss.closeMu.RUnlock()
 		return ErrSessionClosed
 	}
+	// Inc before the send so the gauge can never transiently dip
+	// negative: the actor's Dec only runs after the send succeeds.
+	ss.metrics.QueueDepth.Inc()
 	select {
 	case ss.reqCh <- t:
 		ss.closeMu.RUnlock()
 	default:
+		ss.metrics.QueueDepth.Dec()
 		ss.closeMu.RUnlock()
 		return ErrQueueFull
 	}
@@ -186,7 +206,8 @@ func (ss *Session) quarantine(r interface{}, actorStack []byte) {
 		reason = reason[:i]
 	}
 	ss.failMu.Lock()
-	if ss.failure == nil {
+	first := ss.failure == nil
+	if first {
 		ss.failure = &FailureInfo{
 			Reason: reason,
 			Stack:  full + "\n\nactor stack:\n" + string(actorStack),
@@ -195,6 +216,18 @@ func (ss *Session) quarantine(r interface{}, actorStack []byte) {
 	}
 	ss.failMu.Unlock()
 	ss.failed.Store(true)
+	if first {
+		// Gauge accounting: inc on first quarantine, dec in close().
+		// Both sides run under closeMu and flip qGauged, so a panic
+		// while draining an already-closed session's queue can neither
+		// bump the gauge of the living nor be decremented twice.
+		ss.closeMu.Lock()
+		if !ss.closed {
+			ss.metrics.SessionsQuarantined.Inc()
+			ss.qGauged = true
+		}
+		ss.closeMu.Unlock()
+	}
 }
 
 // failedErr returns the quarantine error (wrapping ErrSessionFailed)
@@ -240,6 +273,10 @@ func (ss *Session) close() {
 	if !ss.closed {
 		ss.closed = true
 		close(ss.reqCh)
+		if ss.qGauged {
+			ss.metrics.SessionsQuarantined.Dec()
+			ss.qGauged = false
+		}
 	}
 	ss.closeMu.Unlock()
 }
@@ -401,7 +438,7 @@ func (ss *Session) materialize() error {
 	if ss.live != nil {
 		return nil
 	}
-	cs, err := core.OpenWorkers(ss.path, ss.source, ss.workers)
+	cs, err := core.OpenObserved(ss.path, ss.source, ss.workers, ss.metrics)
 	if err != nil {
 		return fmt.Errorf("materialize: %v", err)
 	}
@@ -418,6 +455,7 @@ func (ss *Session) materialize() error {
 	ss.live = cs
 	ss.rep = repl.New(cs, io.Discard)
 	ss.art = nil
+	ss.metrics.Materializations.Inc()
 	return nil
 }
 
