@@ -10,11 +10,13 @@
 //	pedd                      # listen on :7473
 //	pedd -addr :8080 -ttl 10m -cache 256 -workers 4
 //	pedd -opsaddr 127.0.0.1:7474   # also expose /metrics and pprof
+//	pedd -datadir /var/lib/pedd -fsync always   # crash-safe sessions
 //
-// Then:
+// Then (session IDs are minted per open — read yours from the open
+// response):
 //
-//	curl -s localhost:7473/v1/sessions -d '{"workload":"arc3d"}'
-//	curl -s localhost:7473/v1/sessions/s1/cmd -d '{"line":"loops"}'
+//	ID=$(curl -s localhost:7473/v1/sessions -d '{"workload":"arc3d"}' | jq -r .id)
+//	curl -s localhost:7473/v1/sessions/$ID/cmd -d '{"line":"loops"}'
 //	curl -s localhost:7474/metrics
 //
 // The ops listener (-opsaddr, off by default) serves the Prometheus
@@ -23,6 +25,15 @@
 // never contend with request traffic. Every request carries an
 // X-Request-ID (generated when the client sends none) that appears in
 // the structured access log on stderr and in error response bodies.
+//
+// With -datadir set, every session keeps a write-ahead journal of its
+// mutating commands under that directory and is rebuilt — byte for
+// byte — at the next start after a crash or kill -9. -fsync picks the
+// durability/latency trade-off (always, interval, never) and
+// -snapshotevery bounds replay length by periodically compacting each
+// journal to a snapshot. A session whose journal hits an I/O error
+// degrades to read-only (reads 200, mutations 503) instead of taking
+// the daemon down.
 package main
 
 import (
@@ -54,17 +65,43 @@ func run() int {
 	maxSessions := flag.Int("maxsessions", 0, "live session cap; opens past it get 503 (0 = unlimited)")
 	queueDepth := flag.Int("queue", 0, "per-session pending-command queue depth; full queues get 429 (0 = default)")
 	accessLog := flag.Bool("accesslog", true, "write one structured log line per request to stderr")
+	dataDir := flag.String("datadir", "", "directory for session journals; sessions survive restarts (empty = in-memory only)")
+	fsyncMode := flag.String("fsync", "interval", "journal fsync policy: always, interval, or never")
+	snapEvery := flag.Int("snapshotevery", 64, "compact a session journal to a snapshot after this many mutations (0 = never)")
 	flag.Parse()
+
+	fsync, err := server.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pedd: %v\n", err)
+		return 2
+	}
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pedd: %v\n", err)
+			return 1
+		}
+	}
 
 	metrics := server.NewMetrics()
 	mgr := server.NewManager(server.Config{
-		TTL:         *ttl,
-		CacheSize:   *cacheSize,
-		Workers:     *workers,
-		MaxSessions: *maxSessions,
-		QueueDepth:  *queueDepth,
-		Metrics:     metrics,
+		TTL:           *ttl,
+		CacheSize:     *cacheSize,
+		Workers:       *workers,
+		MaxSessions:   *maxSessions,
+		QueueDepth:    *queueDepth,
+		DataDir:       *dataDir,
+		Fsync:         fsync,
+		SnapshotEvery: *snapEvery,
+		Metrics:       metrics,
 	})
+	if *dataDir != "" {
+		st, err := mgr.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pedd: %v\n", err)
+			return 1
+		}
+		log.Printf("pedd: recovery: %s (datadir %s, fsync %s)", st, *dataDir, fsync)
+	}
 	opts := server.Options{ReqTimeout: *reqTimeout, MaxBodyBytes: *maxBody, Metrics: metrics}
 	if *accessLog {
 		opts.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))

@@ -67,16 +67,19 @@ var (
 	opsListenRe = regexp.MustCompile(`pedd: ops listening on (\S+)`)
 )
 
-// startPedd launches pedd -addr :0 [-opsaddr :0] and scans its stderr
-// until both listen lines appear, proving the logged addresses carry
-// the real kernel-assigned ports.
-func startPedd(t *testing.T, withOps bool) *peddInstance {
+// startPedd launches pedd -addr :0 [-opsaddr :0] plus any extra flags
+// and scans its stderr until both listen lines appear, proving the
+// logged addresses carry the real kernel-assigned ports. Lines logged
+// before "listening on" — the recovery summary, for one — are in
+// inst.output by the time startPedd returns.
+func startPedd(t *testing.T, withOps bool, extra ...string) *peddInstance {
 	t.Helper()
 	bin := buildPedd(t)
 	args := []string{"-addr", "127.0.0.1:0", "-accesslog=false"}
 	if withOps {
 		args = append(args, "-opsaddr", "127.0.0.1:0")
 	}
+	args = append(args, extra...)
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {

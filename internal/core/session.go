@@ -858,6 +858,22 @@ func (s *Session) Undo() error {
 // Save returns the current program text.
 func (s *Session) Save() string { return fortran.Print(s.File) }
 
+// UndoStack returns a copy of the printed sources Undo can revert to,
+// oldest first. The server's durability snapshots persist it so undo
+// still works on a session rebuilt from a snapshot.
+func (s *Session) UndoStack() []string {
+	out := make([]string, len(s.undoStack))
+	copy(out, s.undoStack)
+	return out
+}
+
+// SetUndoStack replaces the undo history with printed sources, oldest
+// first (used when rebuilding a session from a durability snapshot).
+func (s *Session) SetUndoStack(srcs []string) {
+	s.undoStack = make([]string, len(srcs))
+	copy(s.undoStack, srcs)
+}
+
 // ---------------------------------------------------------------------------
 // Parallelization driver (used by scripted sessions and the report)
 

@@ -33,6 +33,19 @@ const (
 	// CacheGet fires on every analysis-cache lookup (detail: the
 	// content-hash key). An Err fault degrades the lookup to a miss.
 	CacheGet = "cache-get"
+	// JournalAppend fires before a session journal append (detail:
+	// "sessionID:op"). An Err fault models a failed disk write and
+	// degrades the session to read-only.
+	JournalAppend = "journal-append"
+	// JournalSync fires before a journal fsync (detail: session ID).
+	JournalSync = "journal-fsync"
+	// JournalSnapshot fires before a snapshot compaction rewrites a
+	// journal (detail: session ID).
+	JournalSnapshot = "journal-snapshot"
+	// JournalReplay fires before each record is replayed during crash
+	// recovery (detail: "sessionID:op"). An Err fault stops the replay
+	// and leaves the session read-only at the recovered prefix.
+	JournalReplay = "journal-replay"
 )
 
 // Fault describes the behavior injected when an armed site is hit.

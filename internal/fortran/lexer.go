@@ -13,11 +13,13 @@ type Lexer struct {
 }
 
 // logicalStmt is one statement after line assembly: its label (0 when
-// absent), its starting source line, and the statement text.
+// absent), its starting source line, the statement text, and any
+// parallel directive comment (c$par ...) from the lines above it.
 type logicalStmt struct {
-	label int
-	line  int
-	text  string
+	label     int
+	line      int
+	text      string
+	directive string
 }
 
 // Comment records a full-line comment with its original position so
@@ -36,6 +38,7 @@ func NewLexer(src string) (*Lexer, []Comment) {
 	var comments []Comment
 	lines := strings.Split(src, "\n")
 	var cur *logicalStmt
+	var pendingDir string
 	flush := func() {
 		if cur != nil {
 			if strings.TrimSpace(cur.text) != "" || cur.label != 0 {
@@ -51,8 +54,17 @@ func NewLexer(src string) (*Lexer, []Comment) {
 			continue
 		}
 		// Full-line comments: 'c', 'C', '*' or '!' in column 1.
+		// Parallel directives (c$par ...) are not mere comments: they
+		// carry loop annotations that must survive a print → parse
+		// round trip (saved files, undo, journal snapshots), so they
+		// attach to the following statement instead of the comment
+		// list.
 		switch line[0] {
 		case 'c', 'C', '*', '!':
+			if d, ok := parDirective(line); ok {
+				pendingDir = d
+				continue
+			}
 			comments = append(comments, Comment{Line: lineNo, Text: line})
 			continue
 		}
@@ -94,10 +106,36 @@ func NewLexer(src string) (*Lexer, []Comment) {
 		} else {
 			label = 0
 		}
-		cur = &logicalStmt{label: label, line: lineNo, text: body}
+		cur = &logicalStmt{label: label, line: lineNo, text: body, directive: pendingDir}
+		pendingDir = ""
 	}
 	flush()
 	return lx, comments
+}
+
+// parDirective reports whether a full-line comment is a parallel
+// directive (c$par / C$PAR / *$par / !$par in column 1) and returns
+// the directive body after the sentinel.
+func parDirective(line string) (string, bool) {
+	rest := line[1:]
+	if len(rest) < 4 || !strings.EqualFold(rest[:4], "$par") {
+		return "", false
+	}
+	rest = rest[4:]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// Directives returns the parallel directive attached to each logical
+// statement ("" for none), index-aligned with Statements().
+func (lx *Lexer) Directives() []string {
+	out := make([]string, len(lx.stmts))
+	for i, st := range lx.stmts {
+		out[i] = st.directive
+	}
+	return out
 }
 
 // indexUnquoted returns the index of the first occurrence of c outside

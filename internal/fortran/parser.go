@@ -10,7 +10,7 @@ import (
 func Parse(path, src string) (*File, error) {
 	lx, comments := NewLexer(src)
 	stmts, errs := lx.Statements()
-	p := &parser{stmts: stmts, errs: errs}
+	p := &parser{stmts: stmts, dirs: lx.Directives(), errs: errs}
 	f := &File{Path: path, Comments: comments}
 	for !p.atEOF() {
 		u := p.parseUnit(f)
@@ -39,7 +39,7 @@ func ParseStmtIn(f *File, u *Unit, text string) (Stmt, error) {
 	if len(stmts) == 0 {
 		return nil, &Error{Msg: "empty statement"}
 	}
-	p := &parser{stmts: stmts}
+	p := &parser{stmts: stmts, dirs: lx.Directives()}
 	p.unit = u
 	p.beginStmt()
 	s := p.parseStmt(u)
@@ -75,11 +75,20 @@ func MustParse(path, src string) *File {
 
 type parser struct {
 	stmts [][]Token
-	si    int // statement index
+	dirs  []string // parallel directive per statement, "" for none
+	si    int      // statement index
 	toks  []Token
 	ti    int // token index within current statement
 	errs  ErrorList
 	unit  *Unit
+}
+
+// directiveAt returns the parallel directive attached to statement i.
+func (p *parser) directiveAt(i int) string {
+	if i < len(p.dirs) {
+		return p.dirs[i]
+	}
+	return ""
 }
 
 func (p *parser) atEOF() bool { return p.si >= len(p.stmts) }
@@ -822,6 +831,7 @@ func (p *parser) parseSimpleStmt(u *Unit) Stmt {
 }
 
 func (p *parser) parseDo(u *Unit, base StmtBase) Stmt {
+	dir := p.directiveAt(p.si)
 	p.next() // do
 	if p.keyword() == "while" {
 		p.next()
@@ -851,6 +861,9 @@ func (p *parser) parseDo(u *Unit, base StmtBase) Stmt {
 	}
 	p.si++
 	st := &DoStmt{StmtBase: base, Var: sym, Lo: lo, Hi: hi, Step: step}
+	if dir != "" {
+		p.applyDoallDirective(st, u, dir)
+	}
 	if endLabel != 0 {
 		st.Body = p.parseBlock(u, map[string]bool{"end": true}, endLabel)
 		// Drop a trailing bare CONTINUE terminator from the body: it
@@ -865,6 +878,70 @@ func (p *parser) parseDo(u *Unit, base StmtBase) Stmt {
 		p.consumeEnddo()
 	}
 	return st
+}
+
+// applyDoallDirective restores the annotations a `c$par doall` comment
+// carries onto the DO loop it precedes, making the printer's output a
+// faithful parse round trip: `doall` sets Parallel, a private(...)
+// clause rebuilds the private list, and reduction(op:var) clauses
+// rebuild the reductions. An unrecognized directive body is ignored —
+// the loop simply stays serial — so stale or foreign annotations can
+// never make a parse fail.
+func (p *parser) applyDoallDirective(st *DoStmt, u *Unit, dir string) {
+	rest := strings.TrimSpace(dir)
+	kw := rest
+	if i := strings.IndexAny(kw, " \t("); i >= 0 {
+		kw = kw[:i]
+	}
+	if !strings.EqualFold(kw, "doall") {
+		return
+	}
+	st.Parallel = true
+	rest = strings.TrimSpace(rest[len(kw):])
+	for rest != "" {
+		open := strings.IndexByte(rest, '(')
+		if open < 0 {
+			return
+		}
+		close := strings.IndexByte(rest, ')')
+		if close < open {
+			return
+		}
+		clause := strings.ToLower(strings.TrimSpace(rest[:open]))
+		args := rest[open+1 : close]
+		rest = strings.TrimSpace(rest[close+1:])
+		switch clause {
+		case "private":
+			for _, nm := range strings.Split(args, ",") {
+				if nm = strings.ToLower(strings.TrimSpace(nm)); nm != "" {
+					st.Private = append(st.Private, p.getSym(u, nm))
+				}
+			}
+		case "reduction":
+			op, nm, ok := strings.Cut(args, ":")
+			if !ok {
+				continue
+			}
+			op = strings.ToLower(strings.TrimSpace(op))
+			nm = strings.ToLower(strings.TrimSpace(nm))
+			if nm == "" {
+				continue
+			}
+			red := Reduction{Sym: p.getSym(u, nm)}
+			switch op {
+			case "+":
+				red.Op = TokPlus
+			case "*":
+				red.Op = TokStar
+			case "max", "min":
+				red.Op = TokIdent
+				red.OpName = op
+			default:
+				continue
+			}
+			st.Reductions = append(st.Reductions, red)
+		}
+	}
 }
 
 func (p *parser) consumeEnddo() {

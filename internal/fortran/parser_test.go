@@ -441,3 +441,81 @@ func TestParseStmtInContext(t *testing.T) {
 		t.Error("empty text should error")
 	}
 }
+
+// TestDoallDirectiveRoundTrip: a printed c$par doall annotation must
+// parse back onto the loop it precedes — this is what makes printed
+// sources (saved files, undo snapshots, journal snapshots) faithful.
+func TestDoallDirectiveRoundTrip(t *testing.T) {
+	src := "      program p\n" +
+		"      integer i\n" +
+		"      real s, t, x(10)\n" +
+		"c$par doall private(t) reduction(+:s) reduction(max:t)\n" +
+		"      do i = 1, 10\n" +
+		"        s = s + x(i)\n" +
+		"      enddo\n" +
+		"      end\n"
+	f, err := Parse("par.f", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	do, ok := f.Units[0].Body[0].(*DoStmt)
+	if !ok {
+		t.Fatalf("first statement is %T, want *DoStmt", f.Units[0].Body[0])
+	}
+	if !do.Parallel {
+		t.Fatal("doall directive did not set Parallel")
+	}
+	if len(do.Private) != 1 || do.Private[0].Name != "t" {
+		t.Errorf("private = %+v, want [t]", do.Private)
+	}
+	if len(do.Reductions) != 2 {
+		t.Fatalf("reductions = %+v, want 2", do.Reductions)
+	}
+	if do.Reductions[0].Op != TokPlus || do.Reductions[0].Sym.Name != "s" {
+		t.Errorf("reduction 0 = %+v, want +:s", do.Reductions[0])
+	}
+	if do.Reductions[1].OpName != "max" || do.Reductions[1].Sym.Name != "t" {
+		t.Errorf("reduction 1 = %+v, want max:t", do.Reductions[1])
+	}
+	// The directive is AST state now, not a comment: it must not be
+	// double-recorded.
+	if len(f.Comments) != 0 {
+		t.Errorf("directive leaked into comments: %+v", f.Comments)
+	}
+	// Print → parse → print is a fixed point.
+	printed := Print(f)
+	if !strings.Contains(printed, "c$par doall private(t) reduction(+:s) reduction(max:t)") {
+		t.Fatalf("printed output lost the annotation:\n%s", printed)
+	}
+	f2, err := Parse("par2.f", printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if printed2 := Print(f2); printed2 != printed {
+		t.Errorf("directive round trip not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+// TestDirectiveOnNonLoopIgnored: a doall directive over a non-DO
+// statement, or an unknown $par directive, parses cleanly and changes
+// nothing.
+func TestDirectiveIgnoredWhenInapplicable(t *testing.T) {
+	src := "      program p\n" +
+		"      real x\n" +
+		"c$par doall\n" +
+		"      x = 1.0\n" +
+		"c$par nosuchthing(42)\n" +
+		"      do i = 1, 3\n" +
+		"        x = x + 1.0\n" +
+		"      enddo\n" +
+		"      end\n"
+	f, err := Parse("np.f", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for _, s := range f.Units[0].Body {
+		if do, ok := s.(*DoStmt); ok && do.Parallel {
+			t.Error("unknown directive parallelized a loop")
+		}
+	}
+}

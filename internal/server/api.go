@@ -40,7 +40,10 @@ type SessionInfo struct {
 	Live bool `json:"live"`
 	// Mutated reports whether the session has changed the program or
 	// the analysis inputs since opening.
-	Mutated     bool    `json:"mutated"`
+	Mutated bool `json:"mutated"`
+	// ReadOnly reports journal-failure degradation: reads still serve
+	// from memory, mutating requests are rejected with 503.
+	ReadOnly    bool    `json:"read_only,omitempty"`
 	IdleSeconds float64 `json:"idle_seconds"`
 }
 
@@ -53,10 +56,12 @@ type FailureInfo struct {
 }
 
 // SessionStatusResponse is the body of GET /v1/sessions/{id}: the
-// listing row plus, for a quarantined session, its failure.
+// listing row plus, for a quarantined session, its failure, and for a
+// read-only (journal-degraded) session, why it degraded.
 type SessionStatusResponse struct {
 	SessionInfo
-	Failure *FailureInfo `json:"failure,omitempty"`
+	Failure        *FailureInfo `json:"failure,omitempty"`
+	ReadOnlyReason string       `json:"read_only_reason,omitempty"`
 }
 
 // CmdRequest runs one REPL command line in the session.

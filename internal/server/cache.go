@@ -262,6 +262,9 @@ func (c *Cache) Put(a *Artifacts) {
 		el := c.order.Back()
 		c.order.Remove(el)
 		delete(c.entries, el.Value.(*Artifacts).Key)
+		if c.metrics != nil {
+			c.metrics.CacheEvictions.Inc()
+		}
 	}
 }
 

@@ -2,8 +2,11 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -38,6 +41,18 @@ type Config struct {
 	// QueueDepth bounds each session's pending-command queue
 	// (0 = default); a full queue rejects with ErrQueueFull.
 	QueueDepth int
+	// DataDir enables durability: each session keeps a write-ahead
+	// journal under it and is rebuilt by Recover after a restart.
+	// Empty = in-memory only (the pre-durability behavior).
+	DataDir string
+	// Fsync says when journal appends reach stable storage
+	// (zero value = FsyncInterval).
+	Fsync FsyncPolicy
+	// SnapshotEvery compacts a session's journal to one snapshot
+	// record after this many mutations (0 = never compact).
+	SnapshotEvery int
+	// FlushEvery is the FsyncInterval batching period (0 = 100ms).
+	FlushEvery time.Duration
 	// Metrics is the registry fed by the manager, its sessions, and
 	// the analysis cache (nil = a fresh private registry, so the
 	// instrumentation is unconditional either way).
@@ -55,11 +70,22 @@ type Manager struct {
 	// reserved counts opens in flight (admitted but not yet
 	// registered), so the MaxSessions cap holds across the analysis.
 	reserved int
-	seq      int
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+}
+
+// newSessionID draws a short random session ID. Sequential IDs would
+// collide with sessions recovered from a previous process lifetime
+// (both lifetimes would mint "s1"); random IDs need no cross-restart
+// coordination, and journal creation is O_EXCL as a backstop.
+func newSessionID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("crypto/rand unavailable: %v", err))
+	}
+	return "s" + hex.EncodeToString(b[:])
 }
 
 // NewManager creates a manager and starts its TTL janitor (if TTL is
@@ -92,7 +118,46 @@ func NewManager(cfg Config) *Manager {
 		m.wg.Add(1)
 		go m.janitor(every)
 	}
+	if cfg.DataDir != "" && cfg.Fsync == FsyncInterval {
+		every := cfg.FlushEvery
+		if every <= 0 {
+			every = 100 * time.Millisecond
+		}
+		m.wg.Add(1)
+		go m.flusher(every)
+	}
 	return m
+}
+
+func (m *Manager) flusher(every time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.FlushJournals()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// FlushJournals fsyncs every session's journal — the FsyncInterval
+// batching point, driven by the manager's flush ticker. A session
+// whose fsync fails degrades to read-only, exactly like a failed
+// append: acknowledged-but-unflushed state must not keep growing on a
+// disk that is not accepting writes.
+func (m *Manager) FlushJournals() {
+	m.mu.Lock()
+	all := make([]*Session, 0, len(m.sessions))
+	for _, ss := range m.sessions {
+		all = append(all, ss)
+	}
+	m.mu.Unlock()
+	for _, ss := range all {
+		ss.syncJournal()
+	}
 }
 
 func (m *Manager) janitor(every time.Duration) {
@@ -207,13 +272,51 @@ func (m *Manager) Open(ctx context.Context, req OpenRequest) (*Session, OpenResp
 			m.cache.Put(art)
 		}
 	}
+	// Mint the ID and, when durability is on, the journal. The open
+	// record is journaled before the session exists: a crash from here
+	// on rebuilds it. Journal trouble never fails the open — the
+	// session comes up read-only instead (reads work, mutations 503).
+	var id string
+	var jr *journal
+	var jrErr error
+	if m.cfg.DataDir != "" {
+		for tries := 0; ; tries++ {
+			id = newSessionID()
+			jr, jrErr = createJournal(m.cfg.DataDir, id, m.cfg.Fsync, m.metrics)
+			if jrErr == nil || !errors.Is(jrErr, os.ErrExist) || tries >= 8 {
+				break
+			}
+		}
+		if jr != nil {
+			if err := jr.append(&record{Op: recOpen, Path: path, Source: source}); err != nil {
+				jr.remove()
+				jr, jrErr = nil, err
+			} else if err := jr.sync(); err != nil {
+				jr.remove()
+				jr, jrErr = nil, err
+			}
+		}
+	}
 	m.mu.Lock()
-	m.seq++
-	id := fmt.Sprintf("s%d", m.seq)
-	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics)
+	if jr != nil && m.sessions[id] != nil {
+		// A live session without a journal (degraded at create) can
+		// share the ID namespace without a wal backing it; give up the
+		// colliding journal rather than let the wal name drift from
+		// the session ID.
+		jr.remove()
+		jr, jrErr = nil, fmt.Errorf("session ID collision on %s", id)
+	}
+	if jr == nil {
+		for id = newSessionID(); m.sessions[id] != nil; id = newSessionID() {
+		}
+	}
+	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
 	m.sessions[id] = ss
 	m.reserved--
 	m.mu.Unlock()
+	if m.cfg.DataDir != "" && jrErr != nil {
+		ss.degradeReadOnly(fmt.Sprintf("journal create: %v", jrErr))
+	}
 	m.metrics.SessionsOpened.Inc()
 	m.metrics.SessionsLive.Inc()
 	resp = OpenResponse{ID: id, Path: path, Units: units, Cached: cached}
@@ -295,6 +398,7 @@ func (m *Manager) Close(id string) bool {
 		return false
 	}
 	ss.close()
+	ss.removeJournal()
 	m.metrics.SessionsLive.Dec()
 	m.metrics.SessionsClosed.Inc()
 	return true
@@ -316,6 +420,7 @@ func (m *Manager) Sweep() int {
 	m.mu.Unlock()
 	for _, ss := range expired {
 		ss.close()
+		ss.removeJournal()
 		m.metrics.SessionsLive.Dec()
 		m.metrics.SessionsEvicted.Inc()
 	}
@@ -328,7 +433,16 @@ func (m *Manager) CacheStats() CacheStatsResponse { return m.cache.Stats() }
 // Metrics returns the manager's metric registry.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
 
-// Shutdown stops the janitor and closes every session.
+// shutdownDrain bounds how long Shutdown waits for durable sessions'
+// actors to drain their queues and sync their journals. A wedged actor
+// (hung analysis) forfeits its tail rather than hanging the process.
+const shutdownDrain = 10 * time.Second
+
+// Shutdown stops the janitor and closes every session. Journals are
+// kept (a restart with the same datadir recovers them), and for every
+// durable session Shutdown waits — bounded — for the actor to finish
+// its queue and fsync-close its journal, so a clean shutdown loses
+// nothing regardless of fsync policy. Idempotent.
 func (m *Manager) Shutdown() {
 	m.stopOnce.Do(func() { close(m.stop) })
 	m.wg.Wait()
@@ -343,5 +457,17 @@ func (m *Manager) Shutdown() {
 		ss.close()
 		m.metrics.SessionsLive.Dec()
 		m.metrics.SessionsClosed.Inc()
+	}
+	deadline := time.NewTimer(shutdownDrain)
+	defer deadline.Stop()
+	for _, ss := range all {
+		if ss.jr == nil {
+			continue
+		}
+		select {
+		case <-ss.done:
+		case <-deadline.C:
+			return
+		}
 	}
 }

@@ -183,6 +183,7 @@ type Metrics struct {
 	// Session lifecycle.
 	SessionsLive        *Gauge
 	SessionsQuarantined *Gauge
+	SessionsReadOnly    *Gauge
 	SessionsOpened      *Counter
 	SessionsClosed      *Counter
 	SessionsEvicted     *Counter
@@ -195,7 +196,17 @@ type Metrics struct {
 	// Analysis cache.
 	CacheHits        *Counter
 	CacheMisses      *Counter
+	CacheEvictions   *Counter
 	Materializations *Counter
+
+	// Durability: journal I/O and crash recovery.
+	JournalAppend         *Histogram
+	JournalFsync          *Histogram
+	JournalBytes          *Counter
+	JournalSnapshots      *Counter
+	RecoveriesTotal       *Counter
+	RecoveriesTruncated   *Counter
+	RecoveriesQuarantined *Counter
 
 	// Per-phase analysis timings (phase = parse, interproc, dataflow,
 	// dependence, perf), fed through core's PhaseObserver hook.
@@ -215,6 +226,8 @@ func NewMetrics() *Metrics {
 		"Sessions currently registered (including quarantined ones).")
 	m.SessionsQuarantined = m.gauge("pedd_sessions_quarantined",
 		"Live sessions quarantined after a panic.")
+	m.SessionsReadOnly = m.gauge("pedd_sessions_readonly",
+		"Live sessions degraded to read-only after a journal I/O failure.")
 	m.SessionsOpened = m.counter("pedd_sessions_opened_total",
 		"Sessions successfully opened since start.")
 	m.SessionsClosed = m.counter("pedd_sessions_closed_total",
@@ -231,8 +244,24 @@ func NewMetrics() *Metrics {
 		"Analysis cache hits.")
 	m.CacheMisses = m.counter("pedd_cache_misses_total",
 		"Analysis cache misses.")
+	m.CacheEvictions = m.counter("pedd_cache_evictions_total",
+		"Artifacts evicted from the analysis cache by LRU pressure.")
 	m.Materializations = m.counter("pedd_cache_materializations_total",
 		"Artifact-backed sessions materialized into live sessions.")
+	m.JournalAppend = m.histogram("pedd_journal_append_seconds",
+		"Time to append one record to a session journal.", timeBuckets)
+	m.JournalFsync = m.histogram("pedd_journal_fsync_seconds",
+		"Time to fsync a session journal.", timeBuckets)
+	m.JournalBytes = m.counter("pedd_journal_bytes_total",
+		"Bytes appended to session journals.")
+	m.JournalSnapshots = m.counter("pedd_journal_snapshots_total",
+		"Snapshot compactions that rewrote a session journal.")
+	m.RecoveriesTotal = m.counter("pedd_recoveries_total",
+		"Sessions rebuilt from their journals at startup.")
+	m.RecoveriesTruncated = m.counter("pedd_recoveries_truncated_total",
+		"Recoveries that truncated a torn journal tail (expected after kill -9).")
+	m.RecoveriesQuarantined = m.counter("pedd_recoveries_quarantined_total",
+		"Recoveries abandoned on mid-stream journal corruption; the session is quarantined.")
 	m.AnalysisPhase = m.histogramVec("pedd_analysis_phase_seconds",
 		"Wall time of analysis phases (parse, interproc, dataflow, dependence, perf).",
 		timeBuckets, "phase")

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"reflect"
 	"regexp"
 	"sort"
@@ -505,4 +506,67 @@ func muxPatterns(t *testing.T, mux *http.ServeMux) []string {
 		collect(multis.Index(i))
 	}
 	return out
+}
+
+// TestCacheEvictionMetric: overflowing a 1-slot cache must tick
+// pedd_cache_evictions_total in the scrape.
+func TestCacheEvictionMetric(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 1})
+	_, r1 := mustOpen(t, m, "direct")
+	_, r2 := mustOpen(t, m, "onedim") // evicts direct's artifacts
+	m.Close(r1.ID)
+	m.Close(r2.ID)
+	vals := promValues(t, scrape(t, m.Metrics()))
+	if got := vals["pedd_cache_evictions_total"]; got < 1 {
+		t.Errorf("pedd_cache_evictions_total = %v, want >= 1", got)
+	}
+}
+
+// TestDurabilityMetrics drives a journaled session through appends,
+// fsyncs, a snapshot compaction, a crash-style restart, and a torn
+// tail, then asserts every durability series moved and stays
+// histogram-consistent.
+func TestDurabilityMetrics(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{CacheSize: 8, DataDir: dir, Fsync: FsyncAlways, SnapshotEvery: 2}
+	m1 := NewManager(cfg)
+	ss, resp := mustOpen(t, m1, "direct")
+	mustCmd(t, ss, "loop 1")
+	mustCmd(t, ss, "apply parallelize 1")
+	vals := promValues(t, scrape(t, m1.Metrics()))
+	atLeast := func(series string, min float64) {
+		t.Helper()
+		if vals[series] < min {
+			t.Errorf("%s = %v, want >= %v", series, vals[series], min)
+		}
+	}
+	atLeast("pedd_journal_append_seconds_count", 3) // open + 2 mutations
+	atLeast("pedd_journal_fsync_seconds_count", 3)  // fsync always
+	atLeast("pedd_journal_bytes_total", 64)
+	atLeast("pedd_journal_snapshots_total", 1) // SnapshotEvery: 2
+	checkHistogramInvariants(t, scrape(t, m1.Metrics()))
+	m1.Shutdown()
+
+	// Tear the tail, then recover on a fresh manager (fresh registry):
+	// both the recovery and the truncation must count.
+	wal := walPath(dir, resp.ID)
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 9, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2 := newTestManager(t, cfg)
+	if _, err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	vals = promValues(t, scrape(t, m2.Metrics()))
+	atLeast("pedd_recoveries_total", 1)
+	atLeast("pedd_recoveries_truncated_total", 1)
+	if got := vals["pedd_recoveries_quarantined_total"]; got != 0 {
+		t.Errorf("pedd_recoveries_quarantined_total = %v, want 0", got)
+	}
 }

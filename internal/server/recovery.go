@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"parascope/internal/core"
+	"parascope/internal/dep"
+)
+
+// This file is the read side of the durability layer: at startup the
+// manager scans its datadir for session journals and rebuilds each
+// session by replaying its records through the exact code paths a live
+// client would exercise. Recovery classifies damage per journal —
+//
+//   - a torn tail (partial or checksum-failed *final* record) is the
+//     expected aftermath of kill -9: truncate it and recover the rest;
+//   - a checksum failure with intact records after it is real
+//     corruption: that session is registered as a quarantined husk
+//     (status visible, every op rejected) and no other session is
+//     affected;
+//   - a replay that cannot proceed (injected fault, divergence between
+//     the rebuilt source and the hash the journal recorded) leaves the
+//     session read-only at the recovered prefix — reads serve, writes
+//     503 — because appending past a prefix mismatch would corrupt the
+//     log's meaning.
+//
+// One broken journal never blocks the others and never kills the
+// daemon: recovery is per-session fail-soft, like everything else here.
+
+// RecoveryStats summarizes one datadir scan.
+type RecoveryStats struct {
+	// Recovered sessions are fully rebuilt and writable.
+	Recovered int
+	// Truncated counts journals whose torn tail was cut (the session
+	// itself still recovers; a subset of Recovered unless the journal
+	// was left empty).
+	Truncated int
+	// Quarantined sessions had corrupt or unusable journals and are
+	// registered failed: status is queryable, every op is rejected.
+	Quarantined int
+	// ReadOnly sessions recovered a prefix but could not finish replay.
+	ReadOnly int
+	// Removed journals held no durable record at all (the open record
+	// never reached the disk) — deleted, nothing to rebuild.
+	Removed int
+}
+
+func (st RecoveryStats) String() string {
+	return fmt.Sprintf("recovered %d (truncated %d, read-only %d), quarantined %d, removed %d",
+		st.Recovered, st.Truncated, st.ReadOnly, st.Quarantined, st.Removed)
+}
+
+// Recover scans the manager's datadir and rebuilds every journaled
+// session. Call it after NewManager and before serving traffic; with
+// no datadir it is a no-op. The returned error covers only the scan
+// itself (unreadable datadir) — per-session failures are absorbed into
+// the stats and the sessions' own status.
+func (m *Manager) Recover() (RecoveryStats, error) {
+	var st RecoveryStats
+	if m.cfg.DataDir == "" {
+		return st, nil
+	}
+	entries, err := os.ReadDir(m.cfg.DataDir)
+	if err != nil {
+		return st, fmt.Errorf("recovery scan: %w", err)
+	}
+	var wals []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+			wals = append(wals, e.Name())
+		}
+	}
+	sort.Strings(wals)
+	for _, name := range wals {
+		m.recoverOne(strings.TrimSuffix(name, ".wal"), &st)
+	}
+	return st, nil
+}
+
+// recoverOne rebuilds a single session from its journal, updating st.
+func (m *Manager) recoverOne(id string, st *RecoveryStats) {
+	dir := m.cfg.DataDir
+	path := walPath(dir, id)
+	res, err := readJournal(path)
+	if err != nil {
+		m.registerHusk(id, "", fmt.Sprintf("recovery: journal unreadable: %v", err), st)
+		return
+	}
+	if res.tornAt >= 0 {
+		// Expected kill -9 aftermath, not an error: cut the tail so
+		// the journal is clean before any new append lands after it.
+		if err := os.Truncate(path, res.size); err != nil {
+			m.registerHusk(id, "", fmt.Sprintf("recovery: truncating torn tail: %v", err), st)
+			return
+		}
+		st.Truncated++
+		m.metrics.RecoveriesTruncated.Inc()
+	}
+	if res.corrupt != nil {
+		m.registerHusk(id, "", fmt.Sprintf("recovery: journal corrupt: %v", res.corrupt), st)
+		return
+	}
+	if len(res.records) == 0 {
+		// The open record never became durable — the client was never
+		// promised this session survives. Nothing to rebuild.
+		os.Remove(path)
+		st.Removed++
+		return
+	}
+	base := &res.records[0]
+	if base.Op != recOpen && base.Op != recSnapshot {
+		m.registerHusk(id, base.Path, fmt.Sprintf("recovery: journal begins with %q, want open or snapshot", base.Op), st)
+		return
+	}
+
+	// Rebuild the analysis through the cache: a datadir full of
+	// sessions on the same source analyzes once and pre-warms the
+	// artifact cache for post-restart opens.
+	key := core.AnalysisKey(base.Path, base.Source, dep.DefaultOptions(), false)
+	art := m.cache.Get(key)
+	var live *core.Session
+	if art == nil {
+		cs, newArt, err := m.analyzeOpen(key, base.Path, base.Source)
+		if err != nil {
+			m.registerHusk(id, base.Path, fmt.Sprintf("recovery: reanalyzing source: %v", err), st)
+			return
+		}
+		live = cs
+		if newArt != nil {
+			m.cache.Put(newArt)
+		}
+	}
+
+	jr, err := openJournalAppend(dir, id, m.cfg.Fsync, res.size, res.lastSeq, m.metrics)
+	if err != nil {
+		m.registerHusk(id, base.Path, fmt.Sprintf("recovery: reopening journal: %v", err), st)
+		return
+	}
+	ss := newSession(id, base.Path, base.Source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
+
+	rest := res.records[1:]
+	var replayErr error
+	postErr := ss.post(context.Background(), func() {
+		if base.Op == recSnapshot {
+			replayErr = ss.applySnapshot(base)
+			if replayErr != nil {
+				return
+			}
+		}
+		for i := range rest {
+			if replayErr = ss.applyRecord(&rest[i]); replayErr != nil {
+				return
+			}
+		}
+	}, false)
+
+	m.mu.Lock()
+	m.sessions[id] = ss
+	m.mu.Unlock()
+	m.metrics.SessionsLive.Inc()
+	switch {
+	case postErr != nil:
+		// The replay panicked: the session quarantined itself through
+		// the normal actor boundary and is already a registered husk
+		// in all but name.
+		st.Quarantined++
+		m.metrics.RecoveriesQuarantined.Inc()
+	case replayErr != nil:
+		ss.degradeReadOnly(fmt.Sprintf("recovery: %v", replayErr))
+		st.ReadOnly++
+		st.Recovered++
+		m.metrics.RecoveriesTotal.Inc()
+	default:
+		st.Recovered++
+		m.metrics.RecoveriesTotal.Inc()
+	}
+}
+
+// applySnapshot restores the folded state a snapshot record carries:
+// the undo stack (which forces materialization — artifacts cannot
+// hold it) and the selection. Runs on the actor goroutine.
+func (ss *Session) applySnapshot(rec *record) error {
+	if len(rec.Undo) > 0 {
+		if err := ss.materialize(); err != nil {
+			return err
+		}
+		ss.live.SetUndoStack(rec.Undo)
+	}
+	if rec.Unit != "" || rec.Loop > 0 {
+		if _, err := ss.doSelect(SelectRequest{Unit: rec.Unit, Loop: rec.Loop}); err != nil {
+			return fmt.Errorf("restoring snapshot selection: %v", err)
+		}
+	}
+	return nil
+}
+
+// registerHusk registers a quarantined placeholder for a session whose
+// journal could not be recovered: its ID and failure are visible via
+// the sessions API (so an operator can see *why* and DELETE it, which
+// removes the journal), but every operation is rejected. The corrupt
+// journal stays on disk for forensics until then.
+func (m *Manager) registerHusk(id, path, reason string, st *RecoveryStats) {
+	ss := newSession(id, path, "", nil, nil, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, nil, 0)
+	ss.failRecovery(reason)
+	ss.walOrphan = walPath(m.cfg.DataDir, id)
+	m.mu.Lock()
+	m.sessions[id] = ss
+	m.mu.Unlock()
+	m.metrics.SessionsLive.Inc()
+	st.Quarantined++
+	m.metrics.RecoveriesQuarantined.Inc()
+}
+
+// failRecovery quarantines a husk session with a recovery diagnostic —
+// same observable state as a panic quarantine, without a stack.
+func (ss *Session) failRecovery(reason string) {
+	ss.failMu.Lock()
+	first := ss.failure == nil
+	if first {
+		ss.failure = &FailureInfo{Reason: reason, Stack: reason, Time: time.Now()}
+	}
+	ss.failMu.Unlock()
+	ss.failed.Store(true)
+	if first {
+		ss.closeMu.Lock()
+		if !ss.closed {
+			ss.metrics.SessionsQuarantined.Inc()
+			ss.qGauged = true
+		}
+		ss.closeMu.Unlock()
+	}
+}

@@ -269,8 +269,9 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, ss *Session) {
 	resp := SessionStatusResponse{
-		SessionInfo: ss.Info(r.Context()),
-		Failure:     ss.Failure(),
+		SessionInfo:    ss.Info(r.Context()),
+		Failure:        ss.Failure(),
+		ReadOnlyReason: ss.ReadOnlyReason(),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -415,6 +416,7 @@ const statusClientClosedRequest = 499
 //
 //	ErrSessionClosed         410  session closed or evicted
 //	ErrSessionFailed         500  session quarantined after a panic
+//	ErrSessionReadOnly       503  journal failed; mutations rejected
 //	ErrQueueFull             429  per-session queue at capacity
 //	context.DeadlineExceeded 504  request deadline expired
 //	context.Canceled         499  client went away
@@ -425,6 +427,8 @@ func writeOpError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusGone, err)
 	case errors.Is(err, ErrSessionFailed):
 		writeError(w, http.StatusInternalServerError, err)
+	case errors.Is(err, ErrSessionReadOnly):
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeError(w, http.StatusTooManyRequests, err)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"parascope/internal/core"
+	"parascope/internal/faultpoint"
 	"parascope/internal/repl"
 	"parascope/internal/view"
 )
@@ -29,6 +31,12 @@ var ErrSessionFailed = errors.New("session failed")
 // ErrQueueFull is returned when a session's pending-command queue is
 // at capacity — backpressure instead of unbounded buffering.
 var ErrQueueFull = errors.New("session queue full")
+
+// ErrSessionReadOnly is returned for mutating requests against a
+// session whose journal hit an I/O error (disk full, EIO): the state
+// already in memory keeps serving reads, but no further mutation is
+// accepted because it could not be made durable.
+var ErrSessionReadOnly = errors.New("session read-only")
 
 // defaultQueueDepth bounds the per-session pending-command queue when
 // the config does not say otherwise.
@@ -56,9 +64,15 @@ type Session struct {
 	reqCh   chan task
 	closeMu sync.RWMutex
 	closed  bool
-	// qGauged records that this session incremented the quarantined
-	// gauge (guarded by closeMu), so close() decrements exactly once.
-	qGauged bool
+	// done is closed when the actor goroutine exits (queue drained,
+	// journal synced and closed) — what Shutdown waits on for durable
+	// sessions.
+	done chan struct{}
+	// qGauged/roGauged record that this session incremented the
+	// quarantined/read-only gauge (guarded by closeMu), so close()
+	// decrements each exactly once.
+	qGauged  bool
+	roGauged bool
 
 	// failed flips when a command panics: the panic is recovered at
 	// the actor boundary, the session is quarantined, and every later
@@ -67,6 +81,13 @@ type Session struct {
 	failed  atomic.Bool
 	failMu  sync.Mutex
 	failure *FailureInfo
+
+	// readonly flips when a journal append, fsync, or snapshot fails:
+	// the session keeps serving reads from memory but rejects further
+	// mutations with ErrSessionReadOnly (roReason guarded by roMu).
+	readonly atomic.Bool
+	roMu     sync.Mutex
+	roReason string
 
 	// workers caps the analysis pool of the materialized session.
 	workers int
@@ -81,6 +102,21 @@ type Session struct {
 	curLoop int
 	live    *core.Session
 	rep     *repl.REPL
+
+	// Durability (actor-confined except jr's internal locking). jr is
+	// nil when the daemon runs without -datadir. sticky is set by
+	// mutations that live outside the printed source (marks,
+	// assertions, classifications, analysis toggles) — they cannot be
+	// folded into a source snapshot, so they block compaction.
+	jr            *journal
+	snapEvery     int
+	mutsSinceSnap int
+	sticky        bool
+
+	// walOrphan is the wal path of a quarantined recovery husk
+	// (jr == nil): the file stays on disk for forensics until the husk
+	// is explicitly closed, which removes it.
+	walOrphan string
 }
 
 type task struct {
@@ -88,7 +124,7 @@ type task struct {
 	touch bool
 }
 
-func newSession(id, path, source string, art *Artifacts, live *core.Session, workers, queueDepth int, metrics *Metrics) *Session {
+func newSession(id, path, source string, art *Artifacts, live *core.Session, workers, queueDepth int, metrics *Metrics, jr *journal, snapEvery int) *Session {
 	if queueDepth <= 0 {
 		queueDepth = defaultQueueDepth
 	}
@@ -96,19 +132,22 @@ func newSession(id, path, source string, art *Artifacts, live *core.Session, wor
 		metrics = NewMetrics()
 	}
 	ss := &Session{
-		ID:      id,
-		path:    path,
-		source:  source,
-		created: time.Now(),
-		reqCh:   make(chan task, queueDepth),
-		workers: workers,
-		metrics: metrics,
+		ID:        id,
+		path:      path,
+		source:    source,
+		created:   time.Now(),
+		reqCh:     make(chan task, queueDepth),
+		done:      make(chan struct{}),
+		workers:   workers,
+		metrics:   metrics,
+		jr:        jr,
+		snapEvery: snapEvery,
 	}
 	ss.lastUsed.Store(time.Now().UnixNano())
 	if live != nil {
 		ss.live = live
 		ss.rep = repl.New(live, io.Discard)
-	} else {
+	} else if art != nil {
 		ss.art = art
 		ss.curUnit = art.DefaultUnit
 	}
@@ -117,6 +156,12 @@ func newSession(id, path, source string, art *Artifacts, live *core.Session, wor
 }
 
 func (ss *Session) run() {
+	defer close(ss.done)
+	defer func() {
+		if ss.jr != nil {
+			_ = ss.jr.close()
+		}
+	}()
 	for t := range ss.reqCh {
 		t.fn()
 		if t.touch {
@@ -241,6 +286,70 @@ func (ss *Session) failedErr() error {
 	return fmt.Errorf("%w: %s", ErrSessionFailed, ss.failure.Reason)
 }
 
+// degradeReadOnly flips the session to read-only after a journal I/O
+// failure, recording why. The in-memory state keeps serving reads;
+// mutations are rejected so memory can never run ahead of the journal.
+// Safe from any goroutine (the manager's flush ticker degrades too).
+func (ss *Session) degradeReadOnly(reason string) {
+	ss.roMu.Lock()
+	first := ss.roReason == ""
+	if first {
+		ss.roReason = reason
+	}
+	ss.roMu.Unlock()
+	ss.readonly.Store(true)
+	if first {
+		ss.closeMu.Lock()
+		if !ss.closed {
+			ss.metrics.SessionsReadOnly.Inc()
+			ss.roGauged = true
+		}
+		ss.closeMu.Unlock()
+	}
+}
+
+// readonlyErr returns the degradation error (wrapping
+// ErrSessionReadOnly) or nil for a writable session.
+func (ss *Session) readonlyErr() error {
+	if !ss.readonly.Load() {
+		return nil
+	}
+	ss.roMu.Lock()
+	defer ss.roMu.Unlock()
+	return fmt.Errorf("%w: %s", ErrSessionReadOnly, ss.roReason)
+}
+
+// ReadOnlyReason reports why the session degraded ("" when writable).
+func (ss *Session) ReadOnlyReason() string {
+	ss.roMu.Lock()
+	defer ss.roMu.Unlock()
+	return ss.roReason
+}
+
+// removeJournal deletes the session's wal file. Explicit close and
+// TTL eviction call this: the session is gone on purpose, so its
+// state must not resurrect at the next restart. (Shutdown does NOT —
+// surviving the restart is the point.)
+func (ss *Session) removeJournal() {
+	if ss.jr != nil {
+		ss.jr.remove()
+	} else if ss.walOrphan != "" {
+		os.Remove(ss.walOrphan)
+	}
+}
+
+// syncJournal flushes the session's journal (the manager's interval
+// flusher calls this); a failed fsync degrades the session just like a
+// failed append — acknowledged-but-unflushed state must not grow.
+func (ss *Session) syncJournal() {
+	if ss.jr == nil {
+		return
+	}
+	if err := ss.jr.sync(); err != nil {
+		ss.degradeReadOnly(fmt.Sprintf("journal fsync: %v", err))
+	}
+}
+
 // Failure snapshots the quarantine diagnostic, or nil when healthy.
 func (ss *Session) Failure() *FailureInfo {
 	ss.failMu.Lock()
@@ -277,6 +386,10 @@ func (ss *Session) close() {
 			ss.metrics.SessionsQuarantined.Dec()
 			ss.qGauged = false
 		}
+		if ss.roGauged {
+			ss.metrics.SessionsReadOnly.Dec()
+			ss.roGauged = false
+		}
 	}
 	ss.closeMu.Unlock()
 }
@@ -302,6 +415,7 @@ func (ss *Session) Info(ctx context.Context) SessionInfo {
 	}
 	ctx, cancel := context.WithTimeout(ctx, infoBudget)
 	defer cancel()
+	info.ReadOnly = ss.readonly.Load()
 	err := ss.post(ctx, func() {
 		info.Live = ss.live != nil
 		if ss.live != nil {
@@ -309,7 +423,8 @@ func (ss *Session) Info(ctx context.Context) SessionInfo {
 		}
 	}, false)
 	if err != nil {
-		return SessionInfo{ID: ss.ID, Path: ss.path, State: ss.StateName(), IdleSeconds: ss.Idle().Seconds()}
+		return SessionInfo{ID: ss.ID, Path: ss.path, State: ss.StateName(),
+			IdleSeconds: ss.Idle().Seconds(), ReadOnly: ss.readonly.Load()}
 	}
 	return info
 }
@@ -326,8 +441,22 @@ func (ss *Session) Info(ctx context.Context) SessionInfo {
 // may write it after we return; every error path here (and in the
 // other ops below) must return zero values and never read it.
 func (ss *Session) Cmd(ctx context.Context, line string) (CmdResponse, error) {
+	mutating := mutatingLine(line)
+	if mutating {
+		if err := ss.readonlyErr(); err != nil {
+			return CmdResponse{}, err
+		}
+	}
 	var resp CmdResponse
+	var roErr error
 	err := ss.post(ctx, func() {
+		if mutating {
+			rec := &record{Op: recCmd, Line: line}
+			if roErr = ss.journalAppend(rec); roErr != nil {
+				return
+			}
+			defer ss.afterMutation(rec)
+		}
 		out, cmdErr := ss.exec(line)
 		resp.Output = out
 		if cmdErr != nil {
@@ -337,14 +466,28 @@ func (ss *Session) Cmd(ctx context.Context, line string) (CmdResponse, error) {
 	if err != nil {
 		return CmdResponse{}, err
 	}
+	if roErr != nil {
+		return CmdResponse{}, roErr
+	}
 	return resp, nil
 }
 
-// Select switches unit and/or loop.
+// Select switches unit and/or loop. Selection is session state that
+// recovery must reproduce, so it journals like any other mutation.
 func (ss *Session) Select(ctx context.Context, req SelectRequest) (SelectResponse, error) {
+	if err := ss.readonlyErr(); err != nil {
+		return SelectResponse{}, err
+	}
 	var resp SelectResponse
 	var opErr error
-	if err := ss.post(ctx, func() { resp, opErr = ss.doSelect(req) }, true); err != nil {
+	if err := ss.post(ctx, func() {
+		rec := &record{Op: recSelect, Unit: req.Unit, Loop: req.Loop}
+		if opErr = ss.journalAppend(rec); opErr != nil {
+			return
+		}
+		defer ss.afterMutation(rec)
+		resp, opErr = ss.doSelect(req)
+	}, true); err != nil {
 		return SelectResponse{}, err
 	}
 	return resp, opErr
@@ -372,8 +515,16 @@ func (ss *Session) Classify(ctx context.Context, req ClassifyRequest) error {
 	default:
 		return fmt.Errorf("unknown class %q", req.Class)
 	}
+	if err := ss.readonlyErr(); err != nil {
+		return err
+	}
 	var opErr error
 	if err := ss.post(ctx, func() {
+		rec := &record{Op: recClassify, Var: req.Var, Class: strings.ToLower(req.Class)}
+		if opErr = ss.journalAppend(rec); opErr != nil {
+			return
+		}
+		defer ss.afterMutation(rec)
 		if opErr = ss.materialize(); opErr == nil {
 			opErr = ss.live.Classify(req.Var, c)
 		}
@@ -399,8 +550,16 @@ func (ss *Session) Transform(ctx context.Context, req TransformRequest) (CmdResp
 
 // Edit replaces (or deletes) a statement by ID (materializes).
 func (ss *Session) Edit(ctx context.Context, req EditRequest) error {
+	if err := ss.readonlyErr(); err != nil {
+		return err
+	}
 	var opErr error
 	if err := ss.post(ctx, func() {
+		rec := &record{Op: recEdit, Stmt: req.Stmt, Text: req.Text, Delete: req.Delete}
+		if opErr = ss.journalAppend(rec); opErr != nil {
+			return
+		}
+		defer ss.afterMutation(rec)
 		if opErr = ss.materialize(); opErr != nil {
 			return
 		}
@@ -418,8 +577,16 @@ func (ss *Session) Edit(ctx context.Context, req EditRequest) error {
 // Undo reverts the last transformation or edit (materializes; a
 // session with no mutations has nothing to undo, exactly as cold).
 func (ss *Session) Undo(ctx context.Context) error {
+	if err := ss.readonlyErr(); err != nil {
+		return err
+	}
 	var opErr error
 	if err := ss.post(ctx, func() {
+		rec := &record{Op: recUndo}
+		if opErr = ss.journalAppend(rec); opErr != nil {
+			return
+		}
+		defer ss.afterMutation(rec)
 		if opErr = ss.materialize(); opErr == nil {
 			opErr = ss.live.Undo()
 		}
@@ -427,6 +594,175 @@ func (ss *Session) Undo(ctx context.Context) error {
 		return err
 	}
 	return opErr
+}
+
+// ---------------------------------------------------------------------------
+// Journaling (actor-confined)
+
+// mutatingVerbs classifies REPL verbs whose execution changes session
+// state — the cursor, analysis overlays, or the program text — and
+// must therefore be journaled before running. Every other verb is a
+// pure read and is never journaled.
+var mutatingVerbs = map[string]bool{
+	"unit": true, "loop": true, "next": true,
+	"mark": true, "assert": true, "classify": true,
+	"apply": true, "edit": true, "delete": true,
+	"undo": true, "set": true, "auto": true,
+}
+
+// stickyVerbs mutate state that lives outside the printed source
+// (dependence marks, assertions, variable classes, analysis toggles).
+// A source snapshot cannot represent that state, so once a sticky verb
+// runs the journal stops compacting and keeps the full history.
+var stickyVerbs = map[string]bool{
+	"mark": true, "assert": true, "classify": true, "set": true,
+}
+
+func lineVerb(line string) string {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return ""
+	}
+	return strings.ToLower(f[0])
+}
+
+func mutatingLine(line string) bool { return mutatingVerbs[lineVerb(line)] }
+func stickyLine(line string) bool   { return stickyVerbs[lineVerb(line)] }
+
+// currentHash fingerprints the printed program — the PreHash integrity
+// chain each journal record carries.
+func (ss *Session) currentHash() string {
+	if ss.live != nil {
+		return srcHash(ss.live.Save())
+	}
+	return srcHash(ss.art.Printed)
+}
+
+// journalAppend writes rec (journal-before-apply: the mutation only
+// runs if its record is durable per the fsync policy). An append
+// failure degrades the session to read-only and returns the
+// degradation error; with no journal it is free.
+func (ss *Session) journalAppend(rec *record) error {
+	if ss.jr == nil {
+		return nil
+	}
+	rec.PreHash = ss.currentHash()
+	if err := ss.jr.append(rec); err != nil {
+		ss.degradeReadOnly(fmt.Sprintf("journal append: %v", err))
+		return ss.readonlyErr()
+	}
+	return nil
+}
+
+// noteMutation updates compaction bookkeeping for one applied
+// mutation — shared by the live path and crash-recovery replay.
+func (ss *Session) noteMutation(rec *record) {
+	if ss.jr == nil {
+		return
+	}
+	if rec.Op == recClassify || (rec.Op == recCmd && stickyLine(rec.Line)) {
+		ss.sticky = true
+	}
+	ss.mutsSinceSnap++
+}
+
+// afterMutation runs after a journaled mutation executes (whether the
+// command itself succeeded or not — a journaled failure replays as the
+// same failure): bookkeeping, then compaction when due.
+func (ss *Session) afterMutation(rec *record) {
+	ss.noteMutation(rec)
+	ss.maybeSnapshot()
+}
+
+// maybeSnapshot compacts the journal to a single snapshot record once
+// enough mutations have accumulated. Sticky state blocks compaction
+// (the snapshot could not represent it), and a read-only session never
+// rewrites. A failed rewrite leaves the old journal serving but
+// degrades the session: the snapshot path just proved this disk is not
+// accepting writes.
+func (ss *Session) maybeSnapshot() {
+	if ss.jr == nil || ss.snapEvery <= 0 || ss.mutsSinceSnap < ss.snapEvery ||
+		ss.sticky || ss.readonly.Load() {
+		return
+	}
+	snap := &record{Op: recSnapshot, Path: ss.path}
+	if ss.live != nil {
+		snap.Source = ss.live.Save()
+		snap.Undo = ss.live.UndoStack()
+		if u := ss.live.CurrentUnit(); u != nil {
+			snap.Unit = u.Name
+		}
+		snap.Loop = ss.liveLoopOrdinal()
+	} else {
+		snap.Source = ss.art.Printed
+		snap.Unit = ss.art.Units[ss.curUnit].Name
+		snap.Loop = ss.curLoop
+	}
+	if err := ss.jr.rewrite(snap); err != nil {
+		ss.degradeReadOnly(fmt.Sprintf("journal snapshot: %v", err))
+		return
+	}
+	ss.mutsSinceSnap = 0
+}
+
+// applyRecord replays one journal record against a rebuilding session.
+// It runs on the actor goroutine during recovery and calls the same
+// internal methods the live path uses — but never journalAppend, so
+// replay cannot re-journal what it reads. Command-level failures are
+// deliberately ignored: a journaled command that failed re-fails
+// identically, leaving identical state. The returned error means the
+// replay itself cannot proceed (divergence, injected fault, broken
+// record) and the caller degrades the session at the recovered prefix.
+func (ss *Session) applyRecord(rec *record) error {
+	if err := faultpoint.Hit(faultpoint.JournalReplay, ss.ID+":"+rec.Op); err != nil {
+		return err
+	}
+	if rec.PreHash != "" {
+		if h := ss.currentHash(); h != rec.PreHash {
+			return fmt.Errorf("replay divergence at seq %d (%s): rebuilt source hash %.12s…, journal expected %.12s…",
+				rec.Seq, rec.Op, h, rec.PreHash)
+		}
+	}
+	switch rec.Op {
+	case recCmd:
+		_, _ = ss.exec(rec.Line)
+	case recSelect:
+		_, _ = ss.doSelect(SelectRequest{Unit: rec.Unit, Loop: rec.Loop})
+	case recClassify:
+		var c core.VarClass
+		switch rec.Class {
+		case "shared":
+			c = core.ClassShared
+		case "private":
+			c = core.ClassPrivate
+		case "reduction":
+			c = core.ClassReduction
+		default:
+			return fmt.Errorf("replay: unknown class %q in seq %d", rec.Class, rec.Seq)
+		}
+		if err := ss.materialize(); err != nil {
+			return err
+		}
+		_ = ss.live.Classify(rec.Var, c)
+	case recEdit:
+		if err := ss.materialize(); err != nil {
+			return err
+		}
+		if rec.Delete {
+			_ = ss.live.DeleteStmt(rec.Stmt)
+		} else {
+			_ = ss.live.EditStmt(rec.Stmt, rec.Text)
+		}
+	case recUndo:
+		if err := ss.materialize(); err != nil {
+			return err
+		}
+		_ = ss.live.Undo()
+	default:
+		return fmt.Errorf("replay: unknown record op %q at seq %d", rec.Op, rec.Seq)
+	}
+	ss.noteMutation(rec)
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -27,6 +28,8 @@ func TestOpErrorStatusTable(t *testing.T) {
 		{"closed wrapped", fmt.Errorf("op: %w", ErrSessionClosed), http.StatusGone},
 		{"failed", ErrSessionFailed, http.StatusInternalServerError},
 		{"failed wrapped", fmt.Errorf("%w: analysis panicked", ErrSessionFailed), http.StatusInternalServerError},
+		{"readonly", ErrSessionReadOnly, http.StatusServiceUnavailable},
+		{"readonly wrapped", fmt.Errorf("%w: journal append: disk full", ErrSessionReadOnly), http.StatusServiceUnavailable},
 		{"queue full", ErrQueueFull, http.StatusTooManyRequests},
 		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
 		{"canceled", context.Canceled, statusClientClosedRequest},
@@ -183,14 +186,24 @@ func TestHTTPStatusCodes(t *testing.T) {
 		}
 	}
 
-	// Fill the session cap, then expect 503 + Retry-After.
-	if code, _ := post("/v1/sessions", `{"workload":"onedim"}`); code != http.StatusCreated {
-		t.Fatalf("open 1: %d", code)
+	// Fill the session cap, then expect 503 + Retry-After. Session IDs
+	// are random — capture them from the open responses.
+	openID := func() string {
+		t.Helper()
+		code, body := post("/v1/sessions", `{"workload":"onedim"}`)
+		if code != http.StatusCreated {
+			t.Fatalf("open: %d (%s)", code, body)
+		}
+		var got struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal([]byte(body), &got); err != nil || got.ID == "" {
+			t.Fatalf("open response ID: %v (%s)", err, body)
+		}
+		return got.ID
 	}
-	code, _ = post("/v1/sessions", `{"workload":"onedim"}`)
-	if code != http.StatusCreated {
-		t.Fatalf("open 2: %d", code)
-	}
+	id1 := openID()
+	id2 := openID()
 	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{"workload":"onedim"}`))
 	if err != nil {
 		t.Fatal(err)
@@ -204,7 +217,7 @@ func TestHTTPStatusCodes(t *testing.T) {
 		t.Error("503 without Retry-After")
 	}
 	// Closing a session frees a slot.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/s1", nil)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+id1, nil)
 	dresp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -218,12 +231,12 @@ func TestHTTPStatusCodes(t *testing.T) {
 	}
 
 	// A command-level failure on a live session is 422, not 410.
-	if code, _ := post("/v1/sessions/s2/select", `{"loop":99}`); code != http.StatusUnprocessableEntity {
+	if code, _ := post("/v1/sessions/"+id2+"/select", `{"loop":99}`); code != http.StatusUnprocessableEntity {
 		t.Errorf("bad select: %d, want 422", code)
 	}
 
 	// Status endpoint for a healthy session.
-	code, body = get("/v1/sessions/s2")
+	code, body = get("/v1/sessions/" + id2)
 	if code != http.StatusOK {
 		t.Errorf("status: %d, want 200", code)
 	}
