@@ -16,6 +16,7 @@ import (
 	"parascope/internal/experiments"
 	"parascope/internal/fortran"
 	"parascope/internal/interp"
+	"parascope/internal/planner"
 	"parascope/internal/server"
 	"parascope/internal/workloads"
 )
@@ -283,6 +284,32 @@ func BenchmarkServerThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		})
+	}
+}
+
+// BenchmarkPlannerSearch measures one full speculative-search round:
+// fork candidate worlds from a workload session, beam-search the
+// transformation space, score and rank the surviving plans. Static
+// scoring only (the interp validation pass is benchmarked separately
+// by BenchmarkE6Speedup); worlds/s reports exploration throughput.
+func BenchmarkPlannerSearch(b *testing.B) {
+	for _, name := range []string{"direct", "spec77"} {
+		b.Run(name, func(b *testing.B) {
+			w := workloads.ByName(name)
+			var worlds int
+			for i := 0; i < b.N; i++ {
+				res, err := planner.Search(context.Background(), w.Name+".f", w.Source, "",
+					planner.Options{Interp: false}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Plans) == 0 {
+					b.Fatal("search found no plans")
+				}
+				worlds += res.WorldsForked
+			}
+			b.ReportMetric(float64(worlds)/b.Elapsed().Seconds(), "worlds/s")
 		})
 	}
 }

@@ -1,0 +1,168 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_pedd.json the repo commits alongside the
+// code (scripts/genbench.sh drives it). Two modes:
+//
+//	go test -bench 'X' . | benchjson > BENCH_pedd.json
+//	benchjson -check BENCH_pedd.json
+//
+// The default mode parses benchmark result lines from stdin and
+// writes one JSON document to stdout. -check re-reads a committed
+// file and fails (exit 1) unless it parses and still contains the
+// planner search benchmark — CI runs it so the committed numbers
+// cannot silently rot when benchmarks are renamed or dropped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line: its name (with any -cpu suffix
+// stripped), the iteration count, and every reported metric —
+// ns/op plus custom b.ReportMetric units like worlds/s.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole BENCH_pedd.json document.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	check := flag.String("check", "", "validate an existing benchmark JSON file instead of generating one")
+	flag.Parse()
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Printf("benchjson: %s ok\n", *check)
+		return 0
+	}
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	doc := &Doc{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // a benchmark header line without results, or noise
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       trimCPUSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q", line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return doc, nil
+}
+
+// trimCPUSuffix drops the trailing -N GOMAXPROCS marker go test
+// appends to benchmark names, so committed names are machine-stable.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	// Only strip when the dash follows the name/subname, not a -N
+	// that is part of a sub-benchmark label like "c16".
+	return name[:i]
+}
+
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s does not parse: %v", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("%s holds no benchmarks", path)
+	}
+	want := map[string]bool{
+		"BenchmarkPlannerSearch":    false,
+		"BenchmarkServerThroughput": false,
+		"BenchmarkAnalysisCache":    false,
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Iterations <= 0 {
+			return fmt.Errorf("benchmark %s has no iterations", b.Name)
+		}
+		if len(b.Metrics) == 0 {
+			return fmt.Errorf("benchmark %s has no metrics", b.Name)
+		}
+		for name := range want {
+			if strings.HasPrefix(b.Name, name) {
+				want[name] = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			return fmt.Errorf("%s is missing %s results — regenerate with scripts/genbench.sh", path, name)
+		}
+	}
+	return nil
+}

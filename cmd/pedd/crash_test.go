@@ -1,7 +1,10 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -218,6 +221,81 @@ func TestSIGTERMDrainsAndFlushes(t *testing.T) {
 	cl2 := &peddClient{t: t, addr: inst2.addr}
 	if got := cl2.cmd(id, "save"); !strings.Contains(got, "doall") {
 		t.Errorf("drained mutation lost across clean shutdown:\n%s", got)
+	}
+}
+
+// TestCrashRecoveryMidApplyPlan: SIGKILL the daemon while it is
+// applying an accepted speculative plan. Plan steps are journaled one
+// by one through the ordinary mutation path, so whatever instant the
+// kernel delivers the kill, the recovered source must sit exactly on
+// the plan's hash chain: the base state or the state after some
+// acknowledged prefix of steps — never a hybrid.
+func TestCrashRecoveryMidApplyPlan(t *testing.T) {
+	dir := t.TempDir()
+	// The armed delay stretches every journal append so the kill lands
+	// inside the multi-step apply window rather than after it.
+	inst := startPedd(t, false, "-datadir", dir, "-fsync", "always",
+		"-faults", "journal-append=delay:20ms")
+	cl := &peddClient{t: t, addr: inst.addr}
+	id := cl.open("spec77")
+
+	code, body := cl.post("/v1/sessions/"+id+"/plan", `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("plan: %d (%s)", code, body)
+	}
+	var plan struct {
+		BaseHash string `json:"base_hash"`
+		Plans    []struct {
+			Steps []struct {
+				Line string `json:"line"`
+				Hash string `json:"hash"`
+			} `json:"steps"`
+		} `json:"plans"`
+	}
+	if err := json.Unmarshal([]byte(body), &plan); err != nil {
+		t.Fatalf("plan response: %v (%s)", err, body)
+	}
+	if len(plan.Plans) < 2 {
+		t.Fatalf("want >= 2 candidate plans, got %d (%s)", len(plan.Plans), body)
+	}
+	// Every state on the top plan's hash chain is an acceptable place
+	// for the crash to land.
+	legal := map[string]string{plan.BaseHash: "base"}
+	for i, st := range plan.Plans[0].Steps {
+		legal[st.Hash] = fmt.Sprintf("after step %d (%s)", i+1, st.Line)
+	}
+
+	go func() {
+		resp, err := http.Post("http://"+inst.addr+"/v1/sessions/"+id+"/apply-plan",
+			"application/json", strings.NewReader(`{"index":1}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := inst.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = inst.cmd.Wait()
+
+	inst2 := startPedd(t, false, "-datadir", dir, "-fsync", "always")
+	if out := inst2.output.String(); !strings.Contains(out, "recovered 1") {
+		t.Fatalf("restart did not recover the session:\n%s", out)
+	}
+	cl2 := &peddClient{t: t, addr: inst2.addr}
+	got := cl2.cmd(id, "save")
+	sum := sha256.Sum256([]byte(got))
+	h := hex.EncodeToString(sum[:])
+	if where, ok := legal[h]; !ok {
+		t.Errorf("recovered source is off the plan's hash chain (hash %s):\n%s", h, got)
+	} else {
+		t.Logf("crash landed %s", where)
+	}
+	// The recovered session keeps serving and mutating.
+	cl2.cmd(id, "loop 1")
+	if out := cl2.cmd(id, "deps"); out == "" {
+		t.Error("recovered session serves no dependence answers")
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"parascope/internal/faultpoint"
 	"parascope/internal/server"
 )
 
@@ -68,7 +69,19 @@ func run() int {
 	dataDir := flag.String("datadir", "", "directory for session journals; sessions survive restarts (empty = in-memory only)")
 	fsyncMode := flag.String("fsync", "interval", "journal fsync policy: always, interval, or never")
 	snapEvery := flag.Int("snapshotevery", 64, "compact a session journal to a snapshot after this many mutations (0 = never)")
+	planWorkers := flag.Int("planworkers", 0, "concurrent speculative plan searches daemon-wide; excess requests get 429 (0 = 2)")
+	planTimeout := flag.Duration("plantimeout", 0, "default wall-clock budget per plan search (0 = planner default)")
+	planCache := flag.Int("plancache", 0, "plan result cache capacity in searches (0 = 32)")
+	faults := flag.String("faults", "", "chaos testing: arm fault injections, e.g. journal-append=delay:25ms,plan-fork=panic")
 	flag.Parse()
+
+	if err := faultpoint.ArmSpec(*faults); err != nil {
+		fmt.Fprintf(os.Stderr, "pedd: %v\n", err)
+		return 2
+	}
+	if *faults != "" {
+		log.Printf("pedd: CHAOS: faults armed: %s", *faults)
+	}
 
 	fsync, err := server.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
@@ -93,6 +106,9 @@ func run() int {
 		Fsync:         fsync,
 		SnapshotEvery: *snapEvery,
 		Metrics:       metrics,
+		PlanWorkers:   *planWorkers,
+		PlanTimeout:   *planTimeout,
+		PlanCacheSize: *planCache,
 	})
 	if *dataDir != "" {
 		st, err := mgr.Recover()

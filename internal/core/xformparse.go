@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"parascope/internal/fortran"
+	"parascope/internal/xform"
+)
+
+// ParseTransformation resolves the editor's transformation grammar —
+// a transformation name followed by loop ordinals (1-based, source
+// order in the current unit), factors, and variable names — into a
+// ready xform.Transformation bound to the session's current AST.
+// This is the single grammar shared by the REPL's check/apply verbs,
+// journal replay, and the speculative planner, so a step recorded in
+// one context replays identically in every other.
+func ParseTransformation(s *Session, args []string) (xform.Transformation, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("usage: apply <transformation> <loop> [args]")
+	}
+	name := strings.ToLower(args[0])
+	rest := args[1:]
+	switch name {
+	case "parallelize":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Parallelize{Do: do}, nil
+	case "serialize":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Serialize{Do: do}, nil
+	case "interchange":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Interchange{Outer: do}, nil
+	case "reverse":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Reverse{Do: do}, nil
+	case "distribute":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Distribute{Do: do}, nil
+	case "fuse":
+		first, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		second, err := loopArg(s, rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Fuse{First: first, Second: second}, nil
+	case "skew":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := intArg(rest, 1, "skew factor")
+		if err != nil {
+			return nil, err
+		}
+		return xform.Skew{Outer: do, Factor: int64(f)}, nil
+	case "stripmine", "strip-mine":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		size, err := intArg(rest, 1, "strip size")
+		if err != nil {
+			return nil, err
+		}
+		return xform.StripMine{Do: do, Size: int64(size)}, nil
+	case "unroll":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := intArg(rest, 1, "unroll factor")
+		if err != nil {
+			return nil, err
+		}
+		return xform.Unroll{Do: do, Factor: int64(f)}, nil
+	case "peel":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Peel{Do: do}, nil
+	case "privatize":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := varArg(s, rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Privatize{Do: do, Sym: sym}, nil
+	case "privatizearray", "privatize-array":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := varArg(s, rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return xform.PrivatizeArray{Do: do, Sym: sym}, nil
+	case "expand":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := varArg(s, rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return xform.ScalarExpand{Do: do, Sym: sym}, nil
+	case "reductions":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.RecognizeReductions{Do: do}, nil
+	case "normalize":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		return xform.Normalize{Do: do}, nil
+	case "unrolljam", "unroll-and-jam":
+		do, err := loopArg(s, rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := intArg(rest, 1, "unroll factor")
+		if err != nil {
+			return nil, err
+		}
+		return xform.UnrollJam{Outer: do, Factor: int64(f)}, nil
+	case "inline":
+		id, err := intArg(rest, 0, "statement id")
+		if err != nil {
+			return nil, err
+		}
+		st := s.File.StmtByID(id)
+		call, ok := st.(*fortran.CallStmt)
+		if !ok {
+			return nil, fmt.Errorf("statement %d is not a CALL", id)
+		}
+		return xform.Inline{Call: call}, nil
+	}
+	return nil, fmt.Errorf("unknown transformation %q", name)
+}
+
+func intArg(args []string, i int, what string) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing %s", what)
+	}
+	n, err := strconv.Atoi(args[i])
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", what, args[i])
+	}
+	return n, nil
+}
+
+// loopArg resolves a 1-based loop ordinal to its DO statement.
+func loopArg(s *Session, args []string, i int) (*fortran.DoStmt, error) {
+	n, err := intArg(args, i, "loop number")
+	if err != nil {
+		return nil, err
+	}
+	loops := s.Loops()
+	if n < 1 || n > len(loops) {
+		return nil, fmt.Errorf("loop %d out of range (1..%d)", n, len(loops))
+	}
+	return loops[n-1].Do, nil
+}
+
+func varArg(s *Session, args []string, i int) (*fortran.Symbol, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("missing variable name")
+	}
+	sym := s.CurrentUnit().Lookup(strings.ToLower(args[i]))
+	if sym == nil {
+		return nil, fmt.Errorf("no variable %q", args[i])
+	}
+	return sym, nil
+}

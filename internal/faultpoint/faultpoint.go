@@ -11,6 +11,7 @@
 package faultpoint
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -46,6 +47,17 @@ const (
 	// recovery (detail: "sessionID:op"). An Err fault stops the replay
 	// and leaves the session read-only at the recovered prefix.
 	JournalReplay = "journal-replay"
+	// PlanFork fires before a speculative world is forked from its
+	// parent source (detail: the candidate step line). A Panic fault is
+	// recovered inside the world — the world is discarded, the search
+	// and the parent session continue.
+	PlanFork = "plan-fork"
+	// PlanScore fires before a forked world is scored (detail: the
+	// candidate step line). Same blast radius as PlanFork: the world.
+	PlanScore = "plan-score"
+	// PlanApply fires before an accepted plan's steps are replayed
+	// through the journaled mutation path (detail: "sessionID:planID").
+	PlanApply = "plan-apply"
 )
 
 // Fault describes the behavior injected when an armed site is hit.
@@ -128,6 +140,49 @@ func Fired(site string) int64 {
 		n += af.fired.Load()
 	}
 	return n
+}
+
+// ArmSpec arms faults described by a compact spec string — the
+// cross-process variant of Arm for chaos tests that drive a real
+// daemon they cannot call into (pedd -faults). The spec is a
+// comma-separated list of site=kind[:arg] entries:
+//
+//	journal-append=delay:25ms     sleep 25ms at every journal append
+//	plan-fork=panic               panic in every speculative world
+//	analyze=err:injected          return an error from analysis
+//
+// Armed specs stay armed for the process lifetime (no disarm).
+func ArmSpec(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		site, kind, ok := strings.Cut(entry, "=")
+		if !ok || site == "" {
+			return fmt.Errorf("faultpoint: bad spec entry %q (want site=kind[:arg])", entry)
+		}
+		kind, arg, _ := strings.Cut(kind, ":")
+		var f Fault
+		switch kind {
+		case "delay":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fmt.Errorf("faultpoint: bad delay in %q: %v", entry, err)
+			}
+			f.Delay = d
+		case "err":
+			if arg == "" {
+				arg = "injected fault"
+			}
+			f.Err = errors.New(arg)
+		case "panic":
+			f.Panic = true
+		default:
+			return fmt.Errorf("faultpoint: unknown fault kind %q in %q", kind, entry)
+		}
+		Arm(site, f)
+	}
+	return nil
 }
 
 // Hit triggers the first matching armed fault at the site: it sleeps

@@ -185,6 +185,52 @@ func (e *Estimator) stmtCost(df *dataflow.Analysis, s fortran.Stmt) float64 {
 	}
 }
 
+// ParallelTime estimates one execution of the statement list under
+// the current parallelization state: loops already marked parallel
+// (doall) cost ParallelStartup plus their chunked body time instead
+// of the full sequential trip, and nested statements recurse through
+// the same parallel-aware rule. bodyCost deliberately ignores the
+// parallel flag (it models the sequential program being edited);
+// ParallelTime is the speculative planner's scoring function — the
+// predicted wall-clock of a partially parallelized unit.
+func (e *Estimator) ParallelTime(df *dataflow.Analysis, body []fortran.Stmt) float64 {
+	total := 0.0
+	for _, s := range body {
+		total += e.parStmtCost(df, s)
+	}
+	return total
+}
+
+func (e *Estimator) parStmtCost(df *dataflow.Analysis, s fortran.Stmt) float64 {
+	p := e.Params
+	switch st := s.(type) {
+	case *fortran.IfStmt:
+		thenC := e.ParallelTime(df, st.Then)
+		elseC := e.ParallelTime(df, st.Else)
+		return p.BranchCost + e.exprCost(st.Cond) + (thenC+elseC)/2
+	case *fortran.DoStmt:
+		trip := p.DefaultTrip
+		if l := df.Tree.LoopOf(st); l != nil {
+			if n, ok := df.TripCount(l); ok {
+				trip = float64(n)
+			}
+		}
+		body := e.ParallelTime(df, st.Body)
+		if st.Parallel {
+			chunk := trip / float64(p.Procs)
+			if chunk < 1 {
+				chunk = 1
+			}
+			return p.ParallelStartup + chunk*(body+p.LoopOverhead)
+		}
+		return trip * (body + p.LoopOverhead)
+	case *fortran.WhileStmt:
+		return p.DefaultTrip * (e.ParallelTime(df, st.Body) + p.LoopOverhead + e.exprCost(st.Cond))
+	default:
+		return e.stmtCost(df, s)
+	}
+}
+
 // UnitCost estimates the cost of one invocation of a unit, memoized;
 // recursive call chains fall back to the call overhead alone.
 func (e *Estimator) UnitCost(u *fortran.Unit) float64 {

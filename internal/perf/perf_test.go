@@ -194,3 +194,45 @@ func TestReportFormat(t *testing.T) {
 		t.Errorf("report = %q", rep)
 	}
 }
+
+func TestParallelTime(t *testing.T) {
+	e, df := setup(t, `
+      program main
+      integer i
+      real a(1000)
+      do i = 1, 1000
+         a(i) = a(i)*2.0 + 1.0
+      enddo
+      end
+`)
+	unit := e.file.Units[0]
+	seq := e.ParallelTime(df, unit.Body)
+	if seqCost := e.bodyCost(df, unit.Body); seq != seqCost {
+		t.Fatalf("with nothing parallel, ParallelTime %f != bodyCost %f", seq, seqCost)
+	}
+
+	// Mark the loop parallel: the parallel-aware estimate must drop
+	// close to seq/Procs, while bodyCost (the sequential model) must
+	// not move at all.
+	var do *fortran.DoStmt
+	for _, s := range unit.Body {
+		if d, ok := s.(*fortran.DoStmt); ok {
+			do = d
+		}
+	}
+	if do == nil {
+		t.Fatal("no loop found")
+	}
+	do.Parallel = true
+	par := e.ParallelTime(df, unit.Body)
+	if par >= seq {
+		t.Fatalf("parallel loop not cheaper: %f >= %f", par, seq)
+	}
+	ideal := seq / float64(e.Params.Procs)
+	if par > 2*ideal+e.Params.ParallelStartup {
+		t.Errorf("parallel time %f far above ideal %f + startup", par, ideal)
+	}
+	if got := e.bodyCost(df, unit.Body); got != seq {
+		t.Errorf("bodyCost changed with the parallel flag: %f != %f", got, seq)
+	}
+}

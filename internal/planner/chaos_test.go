@@ -1,0 +1,77 @@
+package planner_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"parascope/internal/faultpoint"
+	"parascope/internal/planner"
+	"parascope/internal/workloads"
+)
+
+// TestWorldPanicConfined arms a one-shot panic at the world-fork
+// boundary: exactly one world dies, the search completes, and the
+// surviving worlds still produce plans.
+func TestWorldPanicConfined(t *testing.T) {
+	defer faultpoint.Reset()
+	disarm := faultpoint.Arm(faultpoint.PlanFork, faultpoint.Fault{Panic: true, Times: 1})
+	defer disarm()
+
+	res := search(t, "spec77", planner.Options{Interp: false})
+	if faultpoint.Fired(faultpoint.PlanFork) != 1 {
+		t.Fatalf("fault fired %d times, want 1", faultpoint.Fired(faultpoint.PlanFork))
+	}
+	if res.WorldsDiscarded < 1 {
+		t.Fatalf("panicking world was not discarded: %+v", res)
+	}
+	if len(res.Plans) < 2 {
+		t.Fatalf("search did not survive one world panic: %d plans", len(res.Plans))
+	}
+}
+
+// TestEveryWorldPanicsSearchStillCompletes is the total-loss case: a
+// panic armed at scoring kills every world, and the search must
+// return an empty (not failed) result.
+func TestEveryWorldPanicsSearchStillCompletes(t *testing.T) {
+	defer faultpoint.Reset()
+	disarm := faultpoint.Arm(faultpoint.PlanScore, faultpoint.Fault{Panic: true})
+	defer disarm()
+
+	res := search(t, "direct", planner.Options{Interp: false})
+	if len(res.Plans) != 0 {
+		t.Fatalf("every world panicked yet %d plans survived", len(res.Plans))
+	}
+	if res.WorldsDiscarded == 0 {
+		t.Fatal("no worlds recorded as discarded")
+	}
+	if res.WorldsScored != 0 {
+		t.Fatalf("worlds scored after a pre-scoring panic: %d", res.WorldsScored)
+	}
+}
+
+// TestWorldErrFaultDiscards: an Err fault (not a panic) at the fork
+// site discards matching worlds without killing the search.
+func TestWorldErrFaultDiscards(t *testing.T) {
+	defer faultpoint.Reset()
+	disarm := faultpoint.Arm(faultpoint.PlanFork,
+		faultpoint.Fault{Match: "parallelize", Err: context.DeadlineExceeded})
+	defer disarm()
+
+	w := workloads.ByName("direct")
+	res, err := planner.Search(context.Background(), w.Name+".f", w.Source, "",
+		planner.Options{Interp: false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorldsDiscarded == 0 {
+		t.Fatal("err-faulted worlds were not discarded")
+	}
+	for _, p := range res.Plans {
+		for _, st := range p.Steps {
+			if strings.HasPrefix(st.Line, "apply parallelize") {
+				t.Fatalf("a faulted parallelize step survived into plan %s", p.ID)
+			}
+		}
+	}
+}

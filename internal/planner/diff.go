@@ -1,0 +1,66 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diff renders a minimal line diff from a to b: an LCS alignment with
+// removed lines prefixed "-", added lines "+", and unchanged runs
+// collapsed to "  ... n unchanged ...". Sources here are printed
+// Fortran programs — small — so the quadratic table is fine.
+func Diff(a, b string) string {
+	al := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	bl := strings.Split(strings.TrimRight(b, "\n"), "\n")
+	// lcs[i][j] = LCS length of al[i:], bl[j:].
+	lcs := make([][]int, len(al)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(bl)+1)
+	}
+	for i := len(al) - 1; i >= 0; i-- {
+		for j := len(bl) - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var out strings.Builder
+	same := 0
+	flushSame := func() {
+		if same > 0 {
+			fmt.Fprintf(&out, "  ... %d unchanged ...\n", same)
+			same = 0
+		}
+	}
+	i, j := 0, 0
+	for i < len(al) && j < len(bl) {
+		switch {
+		case al[i] == bl[j]:
+			same++
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			flushSame()
+			fmt.Fprintf(&out, "- %s\n", al[i])
+			i++
+		default:
+			flushSame()
+			fmt.Fprintf(&out, "+ %s\n", bl[j])
+			j++
+		}
+	}
+	for ; i < len(al); i++ {
+		flushSame()
+		fmt.Fprintf(&out, "- %s\n", al[i])
+	}
+	for ; j < len(bl); j++ {
+		flushSame()
+		fmt.Fprintf(&out, "+ %s\n", bl[j])
+	}
+	flushSame()
+	return out.String()
+}

@@ -1,0 +1,62 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Format renders the search result as the ranked-plan text surface
+// shared by the REPL and the remote line protocol.
+func (res *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s: %d plan(s) — %d worlds forked, %d scored, %d discarded",
+		res.Unit, len(res.Plans), res.WorldsForked, res.WorldsScored, res.WorldsDiscarded)
+	if res.Elapsed > 0 {
+		fmt.Fprintf(&b, " in %s", res.Elapsed.Round(time.Millisecond))
+	}
+	b.WriteString("\n")
+	if len(res.Plans) == 0 {
+		b.WriteString("no improving transformation sequence found within budget\n")
+		return b.String()
+	}
+	for i := range res.Plans {
+		b.WriteString(res.Plans[i].Format())
+	}
+	b.WriteString("accept a plan with: apply-plan <rank>\n")
+	return b.String()
+}
+
+// Format renders one plan: its scores, replayable steps, and the
+// per-dependence decisions it assumes.
+func (p *Plan) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%2d. plan %s  est %.1fx", p.Rank, p.ID, p.EstSpeedup)
+	if p.SimSpeedup > 0 {
+		fmt.Fprintf(&b, "  sim %.1fx", p.SimSpeedup)
+	}
+	fmt.Fprintf(&b, "  score %.1f  (%d parallel loop(s), %d step(s))\n",
+		p.Score, p.Parallelized, len(p.Steps))
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, "      %s", s.Line)
+		if v := firstLine(s.Verdict); v != "" {
+			fmt.Fprintf(&b, "   [%s]", v)
+		}
+		b.WriteString("\n")
+	}
+	for _, d := range p.Decisions {
+		edges := ""
+		if d.Edges > 1 {
+			edges = fmt.Sprintf(" (%d dependences)", d.Edges)
+		}
+		fmt.Fprintf(&b, "      assumes %s: %s in %s%s\n", d.Basis, d.Var, d.Loop, edges)
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -7,16 +7,19 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"parascope/internal/core"
 	"parascope/internal/dep"
 	"parascope/internal/fortran"
 	"parascope/internal/interp"
 	"parascope/internal/perf"
+	"parascope/internal/planner"
 	"parascope/internal/view"
 	"parascope/internal/workloads"
 	"parascope/internal/xform"
@@ -31,6 +34,9 @@ type REPL struct {
 	// Errors counts failed commands, so batch drivers can propagate
 	// a non-zero exit code.
 	Errors int
+	// Plans holds the last `plan` result so `apply-plan <n>` can
+	// replay a chosen sequence.
+	Plans []planner.Plan
 }
 
 // New creates a REPL over an open session.
@@ -294,6 +300,52 @@ func (r *REPL) Execute(line string) error {
 		for _, m := range ms {
 			fmt.Fprintln(r.Out, m)
 		}
+	case "plan":
+		opts, err := parsePlanArgs(args)
+		if err != nil {
+			return err
+		}
+		res, err := planner.Search(context.Background(), s.File.Path, s.Save(),
+			s.CurrentUnit().Name, opts, nil)
+		if err != nil {
+			return err
+		}
+		r.Plans = res.Plans
+		fmt.Fprint(r.Out, res.Format())
+	case "plans":
+		if len(r.Plans) == 0 {
+			fmt.Fprintln(r.Out, "no plans: run plan first")
+			return nil
+		}
+		for i := range r.Plans {
+			fmt.Fprint(r.Out, r.Plans[i].Format())
+		}
+	case "apply-plan":
+		n := 1
+		if len(args) > 0 {
+			var err error
+			if n, err = r.argInt(args, 0, "plan rank"); err != nil {
+				return err
+			}
+		}
+		if n < 1 || n > len(r.Plans) {
+			return fmt.Errorf("no plan %d (have %d; run plan first)", n, len(r.Plans))
+		}
+		p := r.Plans[n-1]
+		if h := planner.SrcHash(s.Save()); h != p.BaseHash {
+			return fmt.Errorf("stale plan %s: program changed since the plan was computed", p.ID)
+		}
+		for i, st := range p.Steps {
+			if err := r.Execute(st.Line); err != nil {
+				return fmt.Errorf("apply-plan step %d (%q): %v", i+1, st.Line, err)
+			}
+			if st.Hash != "" {
+				if h := planner.SrcHash(s.Save()); h != st.Hash {
+					return fmt.Errorf("apply-plan diverged after step %d (%q); undo to roll back", i+1, st.Line)
+				}
+			}
+		}
+		fmt.Fprintf(r.Out, "applied plan %s: %d step(s), est %.1fx\n", p.ID, len(p.Steps), p.EstSpeedup)
 	case "history":
 		for _, h := range s.History {
 			fmt.Fprintln(r.Out, h)
@@ -319,178 +371,46 @@ func (r *REPL) argInt(args []string, i int, what string) (int, error) {
 	return n, nil
 }
 
-// loopArg resolves "loop <n>" style references to the DO statement.
-func (r *REPL) loopArg(args []string, i int) (*fortran.DoStmt, error) {
-	n, err := r.argInt(args, i, "loop number")
-	if err != nil {
-		return nil, err
-	}
-	loops := r.Session.Loops()
-	if n < 1 || n > len(loops) {
-		return nil, fmt.Errorf("loop %d out of range (1..%d)", n, len(loops))
-	}
-	return loops[n-1].Do, nil
-}
-
+// parseTransformation resolves transformation command arguments via
+// the shared grammar in core, so the REPL, journal replay, and the
+// speculative planner accept exactly the same step lines.
 func (r *REPL) parseTransformation(args []string) (xform.Transformation, error) {
-	if len(args) == 0 {
-		return nil, fmt.Errorf("usage: apply <transformation> <loop> [args]")
-	}
-	name := strings.ToLower(args[0])
-	rest := args[1:]
-	switch name {
-	case "parallelize":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Parallelize{Do: do}, nil
-	case "serialize":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Serialize{Do: do}, nil
-	case "interchange":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Interchange{Outer: do}, nil
-	case "reverse":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Reverse{Do: do}, nil
-	case "distribute":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Distribute{Do: do}, nil
-	case "fuse":
-		first, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		second, err := r.loopArg(rest, 1)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Fuse{First: first, Second: second}, nil
-	case "skew":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		f, err := r.argInt(rest, 1, "skew factor")
-		if err != nil {
-			return nil, err
-		}
-		return xform.Skew{Outer: do, Factor: int64(f)}, nil
-	case "stripmine", "strip-mine":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		size, err := r.argInt(rest, 1, "strip size")
-		if err != nil {
-			return nil, err
-		}
-		return xform.StripMine{Do: do, Size: int64(size)}, nil
-	case "unroll":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		f, err := r.argInt(rest, 1, "unroll factor")
-		if err != nil {
-			return nil, err
-		}
-		return xform.Unroll{Do: do, Factor: int64(f)}, nil
-	case "peel":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Peel{Do: do}, nil
-	case "privatize":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		sym, err := r.varArg(rest, 1)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Privatize{Do: do, Sym: sym}, nil
-	case "privatizearray", "privatize-array":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		sym, err := r.varArg(rest, 1)
-		if err != nil {
-			return nil, err
-		}
-		return xform.PrivatizeArray{Do: do, Sym: sym}, nil
-	case "expand":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		sym, err := r.varArg(rest, 1)
-		if err != nil {
-			return nil, err
-		}
-		return xform.ScalarExpand{Do: do, Sym: sym}, nil
-	case "reductions":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		return xform.RecognizeReductions{Do: do}, nil
-	case "normalize":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		return xform.Normalize{Do: do}, nil
-	case "unrolljam", "unroll-and-jam":
-		do, err := r.loopArg(rest, 0)
-		if err != nil {
-			return nil, err
-		}
-		f, err := r.argInt(rest, 1, "unroll factor")
-		if err != nil {
-			return nil, err
-		}
-		return xform.UnrollJam{Outer: do, Factor: int64(f)}, nil
-	case "inline":
-		id, err := r.argInt(rest, 0, "statement id")
-		if err != nil {
-			return nil, err
-		}
-		st := r.Session.File.StmtByID(id)
-		call, ok := st.(*fortran.CallStmt)
-		if !ok {
-			return nil, fmt.Errorf("statement %d is not a CALL", id)
-		}
-		return xform.Inline{Call: call}, nil
-	}
-	return nil, fmt.Errorf("unknown transformation %q", name)
+	return core.ParseTransformation(r.Session, args)
 }
 
-func (r *REPL) varArg(args []string, i int) (*fortran.Symbol, error) {
-	if i >= len(args) {
-		return nil, fmt.Errorf("missing variable name")
+// parsePlanArgs parses the optional key=value budget arguments of the
+// plan command: beam=N depth=N worlds=N ms=N top=N nointerp.
+func parsePlanArgs(args []string) (planner.Options, error) {
+	opts := planner.Options{Interp: true}
+	for _, a := range args {
+		if a == "nointerp" {
+			opts.Interp = false
+			continue
+		}
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return opts, fmt.Errorf("bad plan option %q (want beam=N depth=N worlds=N ms=N top=N nointerp)", a)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return opts, fmt.Errorf("bad plan option value %q", a)
+		}
+		switch k {
+		case "beam":
+			opts.BeamWidth = n
+		case "depth":
+			opts.MaxDepth = n
+		case "worlds":
+			opts.MaxWorlds = n
+		case "ms":
+			opts.Timeout = time.Duration(n) * time.Millisecond
+		case "top":
+			opts.TopPlans = n
+		default:
+			return opts, fmt.Errorf("unknown plan option %q", k)
+		}
 	}
-	sym := r.Session.CurrentUnit().Lookup(strings.ToLower(args[i]))
-	if sym == nil {
-		return nil, fmt.Errorf("no variable %q", args[i])
-	}
-	return sym, nil
+	return opts, nil
 }
 
 func parseDepFilter(args []string) (core.DepFilter, error) {
@@ -547,6 +467,11 @@ const helpText = `commands:
   compose                                cross-procedure parameter checks
   edit <stmt-id> <text> | delete <id> | undo
   perf | rank | auto                     performance navigation
+  plan [beam=N depth=N worlds=N ms=N top=N nointerp]
+                                         speculative search: rank auto-
+                                         parallelization plans in forked worlds
+  plans                                  reshow the last plan result
+  apply-plan [n]                         accept plan n (default 1)
   set <analysis> on|off                  toggle sections constants ranges
                                          inputdeps interproc (ablations)
   run [workers]                          execute the program

@@ -343,3 +343,29 @@ func TestSetAnalysisToggles(t *testing.T) {
 		t.Errorf("invalid set forms should error:\n%s", bad)
 	}
 }
+
+func TestPlanVerbs(t *testing.T) {
+	out := drive(t, "direct",
+		"plan nointerp", "plans", "apply-plan 1", "save", "undo")
+	if !strings.Contains(out, "accept a plan with: apply-plan") {
+		t.Errorf("plan output:\n%s", out)
+	}
+	if !strings.Contains(out, "applied plan ") {
+		t.Errorf("apply-plan output:\n%s", out)
+	}
+	if !strings.Contains(out, "doall") {
+		t.Errorf("accepted plan did not parallelize anything:\n%s", out)
+	}
+	// plans reprints, so the ranked header appears at least twice.
+	if strings.Count(out, "1. plan ") < 2 {
+		t.Errorf("plans did not reprint the ranking:\n%s", out)
+	}
+}
+
+func TestApplyPlanStale(t *testing.T) {
+	out := drive(t, "direct",
+		"plan nointerp", "loop 1", "apply parallelize 1", "apply-plan 1")
+	if !strings.Contains(out, "stale") {
+		t.Errorf("stale apply-plan not rejected:\n%s", out)
+	}
+}

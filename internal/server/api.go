@@ -7,7 +7,11 @@
 // reparse and reanalysis.
 package server
 
-import "time"
+import (
+	"time"
+
+	"parascope/internal/planner"
+)
 
 // OpenRequest creates a session: either over a built-in workload by
 // name, or over raw source text with its display path.
@@ -153,6 +157,54 @@ type CacheStatsResponse struct {
 	Entries int   `json:"entries"`
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`
+}
+
+// PlanRequest starts a speculative plan search over the session's
+// current source. Zero values take the daemon defaults; Async returns
+// 202 immediately and the result is polled via GET .../plan.
+type PlanRequest struct {
+	BeamWidth int  `json:"beam_width,omitempty"`
+	MaxDepth  int  `json:"max_depth,omitempty"`
+	MaxWorlds int  `json:"max_worlds,omitempty"`
+	TimeoutMs int  `json:"timeout_ms,omitempty"`
+	TopPlans  int  `json:"top_plans,omitempty"`
+	NoInterp  bool `json:"no_interp,omitempty"`
+	Async     bool `json:"async,omitempty"`
+}
+
+// PlanResponse is the state of a session's latest plan search. Status
+// is "running", "done", or "failed"; Cached marks a result served
+// from the plan cache (same source hash, unit, and budget).
+type PlanResponse struct {
+	SessionID       string         `json:"session_id"`
+	Unit            string         `json:"unit,omitempty"`
+	BaseHash        string         `json:"base_hash,omitempty"`
+	Status          string         `json:"status"`
+	Error           string         `json:"error,omitempty"`
+	Cached          bool           `json:"cached,omitempty"`
+	WorldsForked    int            `json:"worlds_forked"`
+	WorldsScored    int            `json:"worlds_scored"`
+	WorldsDiscarded int            `json:"worlds_discarded"`
+	ElapsedMs       int64          `json:"elapsed_ms"`
+	Plans           []planner.Plan `json:"plans"`
+}
+
+// ApplyPlanRequest accepts a plan: either a full plan object (as
+// returned by PlanResponse) or a 1-based Index into the session's
+// last search result. The plan's steps are replayed through the
+// normal journaled mutation path.
+type ApplyPlanRequest struct {
+	Plan  *planner.Plan `json:"plan,omitempty"`
+	Index int           `json:"index,omitempty"`
+}
+
+// ApplyPlanResponse reports the applied plan and the resulting source
+// hash (which equals the plan's final step hash when the replay
+// converged).
+type ApplyPlanResponse struct {
+	Plan    string `json:"plan"`
+	Applied int    `json:"applied"`
+	Hash    string `json:"hash"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response. The

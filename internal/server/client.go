@@ -282,6 +282,29 @@ func (c *Client) Cmd(ctx context.Context, id, line string) (CmdResponse, error) 
 	return resp, err
 }
 
+// Plan starts a speculative plan search (async when req.Async) or
+// returns the cached result for an identical source and budget.
+func (c *Client) Plan(ctx context.Context, id string, req PlanRequest) (PlanResponse, error) {
+	var resp PlanResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/plan", req, &resp)
+	return resp, err
+}
+
+// PlanStatus polls the latest plan search result.
+func (c *Client) PlanStatus(ctx context.Context, id string) (PlanResponse, error) {
+	var resp PlanResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/plan", nil, &resp)
+	return resp, err
+}
+
+// ApplyPlan accepts a plan; its steps replay through the session's
+// journaled mutation path.
+func (c *Client) ApplyPlan(ctx context.Context, id string, req ApplyPlanRequest) (ApplyPlanResponse, error) {
+	var resp ApplyPlanResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/apply-plan", req, &resp)
+	return resp, err
+}
+
 // Select switches unit and/or loop.
 func (c *Client) Select(ctx context.Context, id string, req SelectRequest) (SelectResponse, error) {
 	var resp SelectResponse

@@ -57,6 +57,14 @@ type Config struct {
 	// the analysis cache (nil = a fresh private registry, so the
 	// instrumentation is unconditional either way).
 	Metrics *Metrics
+	// PlanWorkers bounds concurrent speculative plan searches across
+	// the whole daemon (0 = 2); excess requests get 429.
+	PlanWorkers int
+	// PlanTimeout is the default wall-clock budget per plan search
+	// (0 = the planner's own default).
+	PlanTimeout time.Duration
+	// PlanCacheSize bounds the plan result cache (entries; 0 = 32).
+	PlanCacheSize int
 }
 
 // Manager owns the live sessions and the analysis cache.
@@ -64,6 +72,7 @@ type Manager struct {
 	cfg     Config
 	cache   *Cache
 	metrics *Metrics
+	planCfg *planConfig
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -99,6 +108,7 @@ func NewManager(cfg Config) *Manager {
 		metrics:  cfg.Metrics,
 		sessions: map[string]*Session{},
 		stop:     make(chan struct{}),
+		planCfg:  newPlanConfig(cfg),
 	}
 	if cfg.CacheSize > 0 {
 		m.cache = NewCache(cfg.CacheSize)
@@ -311,6 +321,7 @@ func (m *Manager) Open(ctx context.Context, req OpenRequest) (*Session, OpenResp
 		}
 	}
 	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
+	ss.planCfg = m.planCfg
 	m.sessions[id] = ss
 	m.reserved--
 	m.mu.Unlock()

@@ -211,6 +211,16 @@ type Metrics struct {
 	// Per-phase analysis timings (phase = parse, interproc, dataflow,
 	// dependence, perf), fed through core's PhaseObserver hook.
 	AnalysisPhase *HistogramVec // phase
+
+	// Speculative planner: world lifecycle counters, the live-worlds
+	// gauge, and search latency. Deliberately unlabeled — plan volume
+	// is per-daemon, never per-session (session IDs are unbounded).
+	PlannerWorldsForked    *Counter
+	PlannerWorldsScored    *Counter
+	PlannerWorldsDiscarded *Counter
+	PlannerWorldsAccepted  *Counter
+	PlannerWorldsLive      *Gauge
+	PlannerSearch          *Histogram
 }
 
 // NewMetrics builds a registry with every pedd metric registered.
@@ -265,6 +275,18 @@ func NewMetrics() *Metrics {
 	m.AnalysisPhase = m.histogramVec("pedd_analysis_phase_seconds",
 		"Wall time of analysis phases (parse, interproc, dataflow, dependence, perf).",
 		timeBuckets, "phase")
+	m.PlannerWorldsForked = m.counter("pedd_planner_worlds_forked_total",
+		"Speculative worlds forked by plan searches.")
+	m.PlannerWorldsScored = m.counter("pedd_planner_worlds_scored_total",
+		"Speculative worlds that survived evaluation and were scored.")
+	m.PlannerWorldsDiscarded = m.counter("pedd_planner_worlds_discarded_total",
+		"Speculative worlds discarded (rejected step, panic, duplicate, or failed validation).")
+	m.PlannerWorldsAccepted = m.counter("pedd_planner_worlds_accepted_total",
+		"Accepted plan worlds: plans replayed through the journaled mutation path.")
+	m.PlannerWorldsLive = m.gauge("pedd_planner_worlds_live",
+		"Speculative worlds currently being evaluated.")
+	m.PlannerSearch = m.histogram("pedd_planner_search_seconds",
+		"Wall time of speculative plan searches.", timeBuckets)
 	return m
 }
 

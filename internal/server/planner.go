@@ -1,0 +1,477 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parascope/internal/faultpoint"
+	"parascope/internal/planner"
+)
+
+// This file is the daemon's face of the speculative planner: the
+// plan / apply-plan session operations behind POST|GET
+// /v1/sessions/{id}/plan and POST /v1/sessions/{id}/apply-plan, plus
+// the line-protocol verbs (plan, plans, apply-plan) intercepted in
+// Session.Cmd. The search itself runs OFF the session actor — it
+// only borrows the actor for a snapshot of the printed source, then
+// forks worlds from that immutable string — so a session keeps
+// serving reads (and even mutations) while its plans are being
+// searched. Accepting a plan is the opposite: one actor post that
+// journals and executes each step line through the normal mutation
+// path, verifying the plan's per-step hash chain as it goes.
+
+// ErrPlanConflict is returned when a plan cannot be (or keep being)
+// applied against the session's current state: the session's source
+// moved past the plan's base hash, a step's post-hash diverged, or a
+// search is already running. Maps to HTTP 409.
+var ErrPlanConflict = errors.New("plan conflict")
+
+const (
+	defaultPlanWorkers   = 2
+	defaultPlanCacheSize = 32
+)
+
+// planConfig is the manager-wide planner state every session shares:
+// a daemon-level admission semaphore (searches are expensive — worlds
+// burn a core each) and a small result cache keyed by source hash,
+// unit, and budget.
+type planConfig struct {
+	sem     chan struct{}
+	cache   *planCache
+	timeout time.Duration
+}
+
+func newPlanConfig(cfg Config) *planConfig {
+	w := cfg.PlanWorkers
+	if w <= 0 {
+		w = defaultPlanWorkers
+	}
+	n := cfg.PlanCacheSize
+	if n <= 0 {
+		n = defaultPlanCacheSize
+	}
+	return &planConfig{
+		sem:     make(chan struct{}, w),
+		cache:   newPlanCache(n),
+		timeout: cfg.PlanTimeout,
+	}
+}
+
+// planState is one session's planner corner: the latest search result
+// and the one-search-at-a-time latch. It has its own lock because
+// planning deliberately never rides the actor goroutine.
+type planState struct {
+	mu      sync.Mutex
+	running bool
+	last    *PlanResponse
+}
+
+func (p *planState) tryBegin() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.running {
+		return false
+	}
+	p.running = true
+	return true
+}
+
+func (p *planState) end() {
+	p.mu.Lock()
+	p.running = false
+	p.mu.Unlock()
+}
+
+func (p *planState) store(resp PlanResponse) {
+	p.mu.Lock()
+	cp := resp
+	p.last = &cp
+	p.mu.Unlock()
+}
+
+func (p *planState) snapshot() (PlanResponse, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.last == nil {
+		return PlanResponse{}, false
+	}
+	return *p.last, true
+}
+
+// options maps the wire request onto search options, filling daemon
+// defaults.
+func (req PlanRequest) options(cfg *planConfig) planner.Options {
+	opts := planner.Options{
+		BeamWidth: req.BeamWidth,
+		MaxDepth:  req.MaxDepth,
+		MaxWorlds: req.MaxWorlds,
+		TopPlans:  req.TopPlans,
+		Interp:    !req.NoInterp,
+	}
+	if req.TimeoutMs > 0 {
+		opts.Timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	} else if cfg != nil && cfg.timeout > 0 {
+		opts.Timeout = cfg.timeout
+	}
+	return opts
+}
+
+// planKey fingerprints a search for the result cache: identical
+// source, unit, and budget always produce the same ranked plans (the
+// search is deterministic up to its deadline, which is part of the
+// key).
+func planKey(src, unit string, o planner.Options) string {
+	return fmt.Sprintf("%s|%s|b%d.d%d.w%d.t%d.ms%d.i%v",
+		planner.SrcHash(src), unit, o.BeamWidth, o.MaxDepth, o.MaxWorlds,
+		o.TopPlans, o.Timeout/time.Millisecond, o.Interp)
+}
+
+// planSnapshot borrows the actor for the instant it takes to print
+// the current source — the world fork point. Read-only and even
+// quarantine-adjacent traffic keeps flowing while the search runs.
+func (ss *Session) planSnapshot(ctx context.Context) (path, src, unit string, err error) {
+	err = ss.post(ctx, func() {
+		path = ss.path
+		if ss.live != nil {
+			src = ss.live.Save()
+			if u := ss.live.CurrentUnit(); u != nil {
+				unit = u.Name
+			}
+		} else {
+			src = ss.art.Printed
+			unit = ss.art.Units[ss.curUnit].Name
+		}
+	}, true)
+	return path, src, unit, err
+}
+
+// Plan runs (or begins, with Async) a speculative search for the
+// session. Planning is allowed on read-only sessions — it mutates
+// nothing. One search per session at a time (409), bounded searches
+// per daemon (429), results cached by source hash + unit + budget.
+func (ss *Session) Plan(ctx context.Context, req PlanRequest) (PlanResponse, error) {
+	path, src, unit, err := ss.planSnapshot(ctx)
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	opts := req.options(ss.planCfg)
+	key := planKey(src, unit, opts)
+	if cfg := ss.planCfg; cfg != nil {
+		if resp, ok := cfg.cache.get(key); ok {
+			resp.SessionID = ss.ID
+			resp.Cached = true
+			ss.plan.store(resp)
+			return resp, nil
+		}
+	}
+	if !ss.plan.tryBegin() {
+		return PlanResponse{}, fmt.Errorf("%w: a plan search is already running for this session", ErrPlanConflict)
+	}
+	release := func() {}
+	if cfg := ss.planCfg; cfg != nil {
+		select {
+		case cfg.sem <- struct{}{}:
+			release = func() { <-cfg.sem }
+		default:
+			ss.plan.end()
+			return PlanResponse{}, fmt.Errorf("%w: planner at capacity", ErrQueueFull)
+		}
+	}
+	if req.Async {
+		running := PlanResponse{SessionID: ss.ID, Unit: unit,
+			BaseHash: planner.SrcHash(src), Status: "running"}
+		ss.plan.store(running)
+		go func() {
+			defer release()
+			ss.runSearch(context.Background(), path, src, unit, opts, key)
+		}()
+		return running, nil
+	}
+	defer release()
+	resp := ss.runSearch(ctx, path, src, unit, opts, key)
+	if resp.Status == "failed" {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// runSearch owns the session's running latch; it stores the outcome
+// (done or failed) where PlanStatus and apply-plan find it, and
+// caches successes.
+func (ss *Session) runSearch(ctx context.Context, path, src, unit string, opts planner.Options, key string) PlanResponse {
+	defer ss.plan.end()
+	start := time.Now()
+	res, err := planner.Search(ctx, path, src, unit, opts, plannerObserver{ss.metrics})
+	ss.metrics.PlannerSearch.Observe(time.Since(start).Seconds())
+	resp := PlanResponse{SessionID: ss.ID, Unit: unit, BaseHash: planner.SrcHash(src)}
+	if err != nil {
+		resp.Status = "failed"
+		resp.Error = err.Error()
+		ss.plan.store(resp)
+		return resp
+	}
+	resp.Status = "done"
+	resp.Unit = res.Unit
+	resp.BaseHash = res.BaseHash
+	resp.WorldsForked = res.WorldsForked
+	resp.WorldsScored = res.WorldsScored
+	resp.WorldsDiscarded = res.WorldsDiscarded
+	resp.ElapsedMs = res.Elapsed.Milliseconds()
+	resp.Plans = res.Plans
+	ss.plan.store(resp)
+	// Only productive searches are cached: an empty result can mean
+	// injected faults or a transient world wipe-out, and re-running a
+	// search that found nothing is cheap next to serving a stale
+	// nothing forever.
+	if cfg := ss.planCfg; cfg != nil && len(resp.Plans) > 0 {
+		cfg.cache.put(key, resp)
+	}
+	return resp
+}
+
+// PlanStatus reports the latest search result (or that one is still
+// running); ok is false when no plan was ever requested.
+func (ss *Session) PlanStatus() (PlanResponse, bool) {
+	return ss.plan.snapshot()
+}
+
+// ApplyPlan accepts a plan — by value, or by rank into the session's
+// last search result — and replays its step lines through the normal
+// journaled mutation path in ONE actor post: atomic with respect to
+// every other client, durable like hand-typed commands, and checked
+// step by step against the plan's hash chain. A base-hash or
+// step-hash mismatch aborts with ErrPlanConflict; the journaled
+// prefix stays consistent (it recorded exactly the steps that ran)
+// and undo can roll it back.
+func (ss *Session) ApplyPlan(ctx context.Context, req ApplyPlanRequest) (ApplyPlanResponse, error) {
+	plan := req.Plan
+	if plan == nil {
+		n := req.Index
+		if n == 0 {
+			n = 1
+		}
+		last, ok := ss.plan.snapshot()
+		if !ok || last.Status != "done" {
+			return ApplyPlanResponse{}, fmt.Errorf("no completed plan search for this session (run plan first)")
+		}
+		if n < 1 || n > len(last.Plans) {
+			return ApplyPlanResponse{}, fmt.Errorf("no plan %d (the last search returned %d)", n, len(last.Plans))
+		}
+		plan = &last.Plans[n-1]
+	}
+	if len(plan.Steps) == 0 {
+		return ApplyPlanResponse{}, fmt.Errorf("plan %s has no steps", plan.ID)
+	}
+	if err := ss.readonlyErr(); err != nil {
+		return ApplyPlanResponse{}, err
+	}
+	var resp ApplyPlanResponse
+	var opErr error
+	err := ss.post(ctx, func() {
+		if opErr = faultpoint.Hit(faultpoint.PlanApply, ss.ID+":"+plan.ID); opErr != nil {
+			return
+		}
+		if plan.BaseHash != "" {
+			if h := ss.currentHash(); h != plan.BaseHash {
+				opErr = fmt.Errorf("%w: stale plan %s: session source changed since the plan was computed", ErrPlanConflict, plan.ID)
+				return
+			}
+		}
+		for i, st := range plan.Steps {
+			rec := &record{Op: recCmd, Line: st.Line}
+			if opErr = ss.journalAppend(rec); opErr != nil {
+				return
+			}
+			_, cmdErr := ss.exec(st.Line)
+			ss.afterMutation(rec)
+			if cmdErr != nil {
+				opErr = fmt.Errorf("plan %s step %d (%q): %v", plan.ID, i+1, st.Line, cmdErr)
+				return
+			}
+			if st.Hash != "" {
+				if h := ss.currentHash(); h != st.Hash {
+					opErr = fmt.Errorf("%w: plan %s diverged after step %d (%q); undo to roll back", ErrPlanConflict, plan.ID, i+1, st.Line)
+					return
+				}
+			}
+		}
+		resp = ApplyPlanResponse{Plan: plan.ID, Applied: len(plan.Steps), Hash: ss.currentHash()}
+	}, true)
+	if err != nil {
+		return ApplyPlanResponse{}, err
+	}
+	if opErr != nil {
+		return ApplyPlanResponse{}, opErr
+	}
+	ss.metrics.PlannerWorldsAccepted.Inc()
+	return resp, nil
+}
+
+// planCmd serves the line-protocol planner verbs, so `ped -remote`
+// scripts and raw cmd lines get the planner without knowing the
+// typed endpoints. Intercepted before the REPL: the REPL's own
+// apply-plan path would mutate without journaling each step.
+func (ss *Session) planCmd(ctx context.Context, line string) (CmdResponse, error) {
+	f := strings.Fields(line)
+	switch strings.ToLower(f[0]) {
+	case "plan":
+		req, err := planReqFromArgs(f[1:])
+		if err != nil {
+			return CmdResponse{Err: err.Error()}, nil
+		}
+		resp, err := ss.Plan(ctx, req)
+		if err != nil {
+			return CmdResponse{}, err
+		}
+		return CmdResponse{Output: resp.format()}, nil
+	case "plans":
+		resp, ok := ss.PlanStatus()
+		if !ok {
+			return CmdResponse{Output: "no plans: run plan first\n"}, nil
+		}
+		return CmdResponse{Output: resp.format()}, nil
+	case "apply-plan":
+		n := 0
+		if len(f) > 1 {
+			var err error
+			if n, err = strconv.Atoi(f[1]); err != nil {
+				return CmdResponse{Err: fmt.Sprintf("bad plan rank %q", f[1])}, nil
+			}
+		}
+		resp, err := ss.ApplyPlan(ctx, ApplyPlanRequest{Index: n})
+		if err != nil {
+			return CmdResponse{}, err
+		}
+		return CmdResponse{Output: fmt.Sprintf("applied plan %s: %d step(s), hash %s\n",
+			resp.Plan, resp.Applied, resp.Hash)}, nil
+	}
+	return CmdResponse{}, fmt.Errorf("unknown planner verb %q", f[0])
+}
+
+// planReqFromArgs parses the REPL-style budget arguments
+// (beam=N depth=N worlds=N ms=N top=N nointerp async).
+func planReqFromArgs(args []string) (PlanRequest, error) {
+	var req PlanRequest
+	for _, a := range args {
+		switch a {
+		case "nointerp":
+			req.NoInterp = true
+			continue
+		case "async":
+			req.Async = true
+			continue
+		}
+		k, v, ok := strings.Cut(a, "=")
+		n, err := strconv.Atoi(v)
+		if !ok || err != nil || n <= 0 {
+			return req, fmt.Errorf("bad plan option %q (want beam=N depth=N worlds=N ms=N top=N nointerp async)", a)
+		}
+		switch k {
+		case "beam":
+			req.BeamWidth = n
+		case "depth":
+			req.MaxDepth = n
+		case "worlds":
+			req.MaxWorlds = n
+		case "ms":
+			req.TimeoutMs = n
+		case "top":
+			req.TopPlans = n
+		default:
+			return req, fmt.Errorf("unknown plan option %q", k)
+		}
+	}
+	return req, nil
+}
+
+// format renders a PlanResponse for the line protocol.
+func (resp PlanResponse) format() string {
+	switch resp.Status {
+	case "running":
+		return "plan search running; poll with plans\n"
+	case "failed":
+		return "plan search failed: " + resp.Error + "\n"
+	}
+	res := planner.Result{
+		Unit:            resp.Unit,
+		BaseHash:        resp.BaseHash,
+		WorldsForked:    resp.WorldsForked,
+		WorldsScored:    resp.WorldsScored,
+		WorldsDiscarded: resp.WorldsDiscarded,
+		Elapsed:         time.Duration(resp.ElapsedMs) * time.Millisecond,
+		Plans:           resp.Plans,
+	}
+	out := res.Format()
+	if resp.Cached {
+		out = "(cached)\n" + out
+	}
+	return out
+}
+
+// plannerObserver feeds world lifecycle events into the daemon's
+// metric registry.
+type plannerObserver struct{ m *Metrics }
+
+func (o plannerObserver) WorldForked()    { o.m.PlannerWorldsForked.Inc() }
+func (o plannerObserver) WorldScored()    { o.m.PlannerWorldsScored.Inc() }
+func (o plannerObserver) WorldDiscarded() { o.m.PlannerWorldsDiscarded.Inc() }
+func (o plannerObserver) WorldsLive(delta int) {
+	if delta > 0 {
+		o.m.PlannerWorldsLive.Inc()
+	} else {
+		o.m.PlannerWorldsLive.Dec()
+	}
+}
+
+// planCache is a small LRU over completed searches. Plans are
+// replayable step sequences keyed by the exact source they were
+// computed from, so a hit is always valid — a stale entry can only
+// ever be *unreachable* (the source moved on), never wrong.
+type planCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type planCacheEntry struct {
+	key  string
+	resp PlanResponse
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+func (c *planCache) get(key string) (PlanResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.m[key]
+	if el == nil {
+		return PlanResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planCacheEntry).resp, true
+}
+
+func (c *planCache) put(key string, resp PlanResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.m[key]; el != nil {
+		el.Value.(*planCacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&planCacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*planCacheEntry).key)
+	}
+}

@@ -142,6 +142,7 @@ func (m *Manager) recoverOne(id string, st *RecoveryStats) {
 		return
 	}
 	ss := newSession(id, base.Path, base.Source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
+	ss.planCfg = m.planCfg
 
 	rest := res.records[1:]
 	var replayErr error
@@ -206,6 +207,7 @@ func (ss *Session) applySnapshot(rec *record) error {
 // journal stays on disk for forensics until then.
 func (m *Manager) registerHusk(id, path, reason string, st *RecoveryStats) {
 	ss := newSession(id, path, "", nil, nil, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, nil, 0)
+	ss.planCfg = m.planCfg
 	ss.failRecovery(reason)
 	ss.walOrphan = walPath(m.cfg.DataDir, id)
 	m.mu.Lock()

@@ -57,6 +57,12 @@ type Options struct {
 //	POST   /v1/sessions/{id}/transform   check/apply a transformation
 //	POST   /v1/sessions/{id}/edit        edit or delete a statement
 //	POST   /v1/sessions/{id}/undo        undo the last change
+//	POST   /v1/sessions/{id}/plan        speculative plan search (202
+//	                                     when async; 409 one-at-a-time;
+//	                                     429 daemon at plan capacity)
+//	GET    /v1/sessions/{id}/plan        latest plan search result
+//	POST   /v1/sessions/{id}/apply-plan  accept a plan (replayed via
+//	                                     the journal; 409 stale/diverged)
 //
 // Every request runs under a deadline and a body-size cap, carries an
 // X-Request-ID (generated when the client sends none, echoed on the
@@ -113,7 +119,49 @@ func NewWith(mgr *Manager, opts Options) *Server {
 	s.handle("POST /v1/sessions/{id}/transform", s.session(s.handleTransform))
 	s.handle("POST /v1/sessions/{id}/edit", s.session(s.handleEdit))
 	s.handle("POST /v1/sessions/{id}/undo", s.session(s.handleUndo))
+	s.handle("POST /v1/sessions/{id}/plan", s.session(s.handlePlan))
+	s.handle("GET /v1/sessions/{id}/plan", s.session(s.handlePlanStatus))
+	s.handle("POST /v1/sessions/{id}/apply-plan", s.session(s.handleApplyPlan))
 	return s
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req PlanRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := ss.Plan(r.Context(), req)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	if resp.Status == "running" {
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePlanStatus(w http.ResponseWriter, r *http.Request, ss *Session) {
+	resp, ok := ss.PlanStatus()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no plan search has run for this session"))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleApplyPlan(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req ApplyPlanRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := ss.ApplyPlan(r.Context(), req)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handle registers one route through the instrumentation wrapper: the
@@ -418,6 +466,8 @@ const statusClientClosedRequest = 499
 //	ErrSessionFailed         500  session quarantined after a panic
 //	ErrSessionReadOnly       503  journal failed; mutations rejected
 //	ErrQueueFull             429  per-session queue at capacity
+//	                              (or the daemon's plan capacity)
+//	ErrPlanConflict          409  stale/diverged/duplicate plan work
 //	context.DeadlineExceeded 504  request deadline expired
 //	context.Canceled         499  client went away
 //	anything else            422  command-level rejection
@@ -425,6 +475,8 @@ func writeOpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrSessionClosed):
 		writeError(w, http.StatusGone, err)
+	case errors.Is(err, ErrPlanConflict):
+		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrSessionFailed):
 		writeError(w, http.StatusInternalServerError, err)
 	case errors.Is(err, ErrSessionReadOnly):

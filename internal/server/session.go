@@ -96,6 +96,13 @@ type Session struct {
 	// non-nil (newSession defaults a private registry).
 	metrics *Metrics
 
+	// plan is this session's speculative-planner state (latest search
+	// result + one-search latch; own lock, never the actor). planCfg
+	// is the manager-wide admission semaphore and plan cache, set by
+	// the manager right after construction (nil = standalone defaults).
+	plan    planState
+	planCfg *planConfig
+
 	// Actor-confined state below: only the run() goroutine touches it.
 	art     *Artifacts
 	curUnit int
@@ -441,6 +448,14 @@ func (ss *Session) Info(ctx context.Context) SessionInfo {
 // may write it after we return; every error path here (and in the
 // other ops below) must return zero values and never read it.
 func (ss *Session) Cmd(ctx context.Context, line string) (CmdResponse, error) {
+	// Planner verbs never reach the REPL: plan must run off-actor
+	// (admission-controlled, cached), and apply-plan must journal each
+	// constituent step — the REPL's in-process variants would do
+	// neither on a daemon session.
+	switch lineVerb(line) {
+	case "plan", "plans", "apply-plan":
+		return ss.planCmd(ctx, line)
+	}
 	mutating := mutatingLine(line)
 	if mutating {
 		if err := ss.readonlyErr(); err != nil {

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerate BENCH_pedd.json: run the daemon-facing benchmarks
+# (server throughput, analysis cache, speculative planner search) and
+# convert the results to JSON with cmd/benchjson. Run from the repo
+# root:
+#
+#   sh scripts/genbench.sh            # quick numbers (1 iteration each)
+#   BENCHTIME=2s sh scripts/genbench.sh   # steadier numbers
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_pedd.json}"
+
+go test -run '^$' -bench 'BenchmarkServerThroughput|BenchmarkAnalysisCache|BenchmarkPlannerSearch' \
+	-benchtime "$BENCHTIME" . |
+	tee /dev/stderr |
+	go run ./cmd/benchjson >"$OUT"
+go run ./cmd/benchjson -check "$OUT"
