@@ -118,7 +118,8 @@ func run() int {
 		}
 		log.Printf("pedd: recovery: %s (datadir %s, fsync %s)", st, *dataDir, fsync)
 	}
-	opts := server.Options{ReqTimeout: *reqTimeout, MaxBodyBytes: *maxBody, Metrics: metrics}
+	ready := &server.Readiness{}
+	opts := server.Options{ReqTimeout: *reqTimeout, MaxBodyBytes: *maxBody, Metrics: metrics, Ready: ready}
 	if *accessLog {
 		opts.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
@@ -146,7 +147,7 @@ func run() int {
 			return 1
 		}
 		opsSrv = &http.Server{
-			Handler:           server.OpsHandler(metrics),
+			Handler:           server.OpsHandler(metrics, ready),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 	}
@@ -172,6 +173,10 @@ func run() int {
 	case <-ctx.Done():
 	}
 	log.Printf("pedd: shutting down")
+	// Flip readiness before draining: rolling restarts and the cluster
+	// gateway see /readyz go 503 and stop sending new work while the
+	// in-flight requests below complete.
+	ready.SetDraining(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	code := 0

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The exec harness builds pedd and pedgw once per test run and drives
+// them as real processes: real listeners, real signals, real kill -9.
+var (
+	binDir    string
+	buildOnce sync.Once
+	buildErr  error
+)
+
+func TestMain(m *testing.M) {
+	var err error
+	binDir, err = os.MkdirTemp("", "pedgw-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+// binaries compiles pedd and pedgw (once) and returns their paths.
+func binaries(t *testing.T) (pedd, pedgw string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		for _, name := range []string{"pedd", "pedgw"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, name), "parascope/cmd/"+name)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("go build %s: %v\n%s", name, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(binDir, "pedd"), filepath.Join(binDir, "pedgw")
+}
+
+// proc is one running daemon (pedd or pedgw) on ephemeral ports.
+type proc struct {
+	cmd     *exec.Cmd
+	addr    string
+	opsAddr string
+	output  *bytes.Buffer
+	mu      sync.Mutex
+}
+
+func (p *proc) log() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.output.String()
+}
+
+func (p *proc) appendLine(line string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintln(p.output, line)
+}
+
+// startProc launches bin with args and scans its stderr until the
+// "<name>: listening on" line (and the ops line) reports the real
+// kernel-assigned ports.
+func startProc(t *testing.T, bin, name string, withOps bool, args ...string) *proc {
+	t.Helper()
+	listenRe := regexp.MustCompile(name + `: listening on (\S+)`)
+	opsRe := regexp.MustCompile(name + `: ops listening on (\S+)`)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, output: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(30 * time.Second)
+	need := 1
+	if withOps {
+		need = 2
+	}
+	for need > 0 {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("%s exited before listening:\n%s", name, p.log())
+			}
+			p.appendLine(line)
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				p.addr = m[1]
+				need--
+			} else if m := opsRe.FindStringSubmatch(line); m != nil {
+				p.opsAddr = m[1]
+				need--
+			}
+		case <-deadline:
+			t.Fatalf("%s did not report listening in time:\n%s", name, p.log())
+		}
+	}
+	go func() {
+		for line := range lines {
+			p.appendLine(line)
+		}
+	}()
+	return p
+}
+
+// TestPedgwRequiresBackends: starting without -backends is a usage
+// error (exit 2), reported before any listener opens.
+func TestPedgwRequiresBackends(t *testing.T) {
+	_, pedgw := binaries(t)
+	out, err := exec.Command(pedgw, "-addr", "127.0.0.1:0").CombinedOutput()
+	var exitErr *exec.ExitError
+	if err == nil || !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("pedgw without -backends: err=%v, want exit 2\noutput: %s", err, out)
+	}
+	if !strings.Contains(string(out), "-backends is required") {
+		t.Errorf("usage error not reported: %s", out)
+	}
+	if strings.Contains(string(out), "listening on") {
+		t.Errorf("pedgw claimed to listen despite a usage error:\n%s", out)
+	}
+}
+
+// TestPedgwRejectsBadBackendSpec: a malformed spec is refused at
+// startup, not discovered in production when the first probe fires.
+func TestPedgwRejectsBadBackendSpec(t *testing.T) {
+	_, pedgw := binaries(t)
+	out, err := exec.Command(pedgw, "-backends", "ftp://nope").CombinedOutput()
+	var exitErr *exec.ExitError
+	if err == nil || !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("pedgw with bad spec: err=%v, want exit 2\noutput: %s", err, out)
+	}
+	if !strings.Contains(string(out), "http or https") {
+		t.Errorf("spec error not explained: %s", out)
+	}
+}
+
+// TestPedgwSIGTERMDrain pins the drain contract end to end with real
+// processes and real signals: an in-flight mutation (stretched by a
+// journal-append fault on the backend) completes with 200, requests
+// arriving during the grace window get 503 + Retry-After instead of a
+// connection reset, and the gateway exits 0.
+func TestPedgwSIGTERMDrain(t *testing.T) {
+	pedd, pedgw := binaries(t)
+	dir := t.TempDir()
+	node := startProc(t, pedd, "pedd", false,
+		"-addr", "127.0.0.1:0", "-accesslog=false",
+		"-datadir", dir, "-fsync", "always",
+		"-faults", "journal-append=delay:300ms")
+	gw := startProc(t, pedgw, "pedgw", false,
+		"-addr", "127.0.0.1:0", "-accesslog=false",
+		"-backends", "http://"+node.addr,
+		"-probeinterval", "25ms", "-upafter", "1",
+		"-draingrace", "1s")
+	waitReadyz(t, "http://"+gw.addr)
+
+	id := openSession(t, "http://"+gw.addr, "")
+	mustPost(t, "http://"+gw.addr+"/v1/sessions/"+id+"/cmd", `{"line":"loop 1"}`)
+
+	// Launch a mutation that will sit inside the armed 300ms journal
+	// delay when SIGTERM lands.
+	inflight := make(chan string, 1)
+	go func() {
+		resp, err := http.Post("http://"+gw.addr+"/v1/sessions/"+id+"/cmd",
+			"application/json", strings.NewReader(`{"line":"apply parallelize 1"}`))
+		if err != nil {
+			inflight <- "transport error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		inflight <- resp.Status + " " + string(b)
+	}()
+	time.Sleep(100 * time.Millisecond) // let the mutation reach the backend
+	if err := gw.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// During the grace window the listener is still up and refusing new
+	// work politely.
+	time.Sleep(100 * time.Millisecond)
+	resp, err := http.Post("http://"+gw.addr+"/v1/sessions", "application/json",
+		strings.NewReader(`{"workload":"direct"}`))
+	if err != nil {
+		t.Fatalf("request during drain grace got a connection error, want 503: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("request during drain: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("drain 503 without Retry-After")
+	}
+	rresp, err := http.Get("http://" + gw.addr + "/readyz")
+	if err != nil {
+		t.Fatalf("/readyz during drain: %v", err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain: %d, want 503", rresp.StatusCode)
+	}
+
+	if err := gw.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM with in-flight mutation exited non-zero: %v\n%s", err, gw.log())
+	}
+	res := <-inflight
+	if !strings.HasPrefix(res, "200") {
+		t.Fatalf("in-flight mutation not completed before drain: %s", res)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// Breaker states, in escalation order. The numeric values are exported
+// as the pedgw_backend_breaker_state gauge.
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen lets exactly one probe request through; its
+	// outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+	// BreakerOpen rejects immediately until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-backend circuit breaker: Threshold consecutive
+// transport failures trip it open, Cooldown later a single half-open
+// probe is admitted, and that probe's outcome closes or re-opens the
+// circuit. Only transport-level failures count — an application error
+// (a 4xx, a quarantined session's 500) proves the backend is serving.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that trips the
+	// breaker (<= 0 takes 3).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (<= 0 takes 2s).
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	// now is a test seam; nil means time.Now.
+	now func() time.Time
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 3
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 2 * time.Second
+}
+
+// Allow reports whether a request may proceed. An open breaker whose
+// cooldown has elapsed flips to half-open and admits exactly one
+// probe; callers that get true MUST report Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a request that reached the backend; it closes the
+// circuit and clears the failure run.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a transport-level failure. In half-open it re-opens
+// immediately; closed, it trips once the consecutive run hits the
+// threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probing = false
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold() {
+		b.state = BreakerOpen
+		b.openedAt = b.clock()
+	}
+}
+
+// State reads the breaker's position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTripAndRecover walks the full state machine: consecutive
+// failures trip it, the cooldown gates a single half-open probe, and
+// the probe's outcome closes or re-opens the circuit.
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, now: func() time.Time { return now }}
+
+	// Two failures: still closed (below threshold).
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("below threshold: %v, want closed", st)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	// A success clears the run; two more failures still don't trip.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("run reset by success, then 2 failures: %v, want closed", st)
+	}
+	// The third consecutive failure trips it.
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("at threshold: %v, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("after probe admission: %v, want half-open", st)
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+
+	// Probe fails: straight back to open, new cooldown.
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("failed probe: %v, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+
+	// Next probe succeeds: closed, and full threshold applies again.
+	now = now.Add(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("successful probe: %v, want closed", st)
+	}
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("failure run must restart from zero after close: %v", st)
+	}
+}
+
+// TestBreakerDefaults: zero-value thresholds take the documented
+// defaults rather than tripping on the first failure.
+func TestBreakerDefaults(t *testing.T) {
+	b := &Breaker{}
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("2 failures under default threshold 3: %v, want closed", st)
+	}
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("3 failures under default threshold: %v, want open", st)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half-open", BreakerOpen: "open",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+// TestParseBackends covers the -backends spec grammar.
+func TestParseBackends(t *testing.T) {
+	got, err := ParseBackends("http://a:1,http://b:2|http://b:3|/data/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Addr != "http://a:1" ||
+		got[1].Addr != "http://b:2" || got[1].OpsAddr != "http://b:3" || got[1].DataDir != "/data/b" {
+		t.Fatalf("parsed: %+v", got)
+	}
+	if got[0].probeBase() != "http://a:1" || got[1].probeBase() != "http://b:3" {
+		t.Errorf("probeBase fallback wrong: %q %q", got[0].probeBase(), got[1].probeBase())
+	}
+	for _, bad := range []string{"", "ftp://a", "http://", "http://a,http://a", "http://a|x|y|z", "not a url"} {
+		if _, err := ParseBackends(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicAcrossOrder: rings built from the same member
+// set in any order must route every key identically — the property
+// that lets parallel gateways agree without coordination.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a := NewRing(0, []string{"http://n1", "http://n2", "http://n3"})
+	b := NewRing(0, []string{"http://n3", "http://n1", "http://n2"})
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("s%06x", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner differs by input order: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution: with 64 virtual nodes per member, no member of
+// a 3-node ring should own a wildly skewed share of random keys.
+func TestRingDistribution(t *testing.T) {
+	members := []string{"http://n1", "http://n2", "http://n3"}
+	r := NewRing(0, members)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("s%08x", i*2654435761))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of keys; distribution too skewed (%v)", m, share*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one member must move only the keys
+// that member owned; every other key keeps its owner. This is what
+// keeps rebalance migrations proportional to the change.
+func TestRingMinimalMovement(t *testing.T) {
+	full := NewRing(0, []string{"http://n1", "http://n2", "http://n3"})
+	reduced := NewRing(0, []string{"http://n1", "http://n2"})
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("s%06x", i)
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == "http://n3" {
+			if after == "http://n3" {
+				t.Fatalf("key %s still owned by removed member", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved (%s -> %s) though its owner never left", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split moved=%d kept=%d; test covered nothing", moved, kept)
+	}
+}
+
+// TestRingEmptyAndSingle: an empty ring owns nothing; a single-member
+// ring owns everything.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if owner := NewRing(0, nil).Owner("s1"); owner != "" {
+		t.Errorf("empty ring owner %q, want \"\"", owner)
+	}
+	one := NewRing(0, []string{"http://solo"})
+	for i := 0; i < 100; i++ {
+		if owner := one.Owner(fmt.Sprintf("k%d", i)); owner != "http://solo" {
+			t.Fatalf("single-member ring routed %q elsewhere: %q", fmt.Sprintf("k%d", i), owner)
+		}
+	}
+	if got := one.Members(); len(got) != 1 || got[0] != "http://solo" {
+		t.Errorf("Members: %v", got)
+	}
+}

@@ -58,6 +58,11 @@ const (
 	// PlanApply fires before an accepted plan's steps are replayed
 	// through the journaled mutation path (detail: "sessionID:planID").
 	PlanApply = "plan-apply"
+	// MigrateStream fires before an outbound migration ships its
+	// journal stream (detail: session ID). An Err fault tears the
+	// stream mid-record — the target must reject it whole and the
+	// source must stay authoritative.
+	MigrateStream = "migrate-stream"
 )
 
 // Fault describes the behavior injected when an armed site is hit.

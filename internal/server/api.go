@@ -19,6 +19,11 @@ type OpenRequest struct {
 	Workload string `json:"workload,omitempty"`
 	Path     string `json:"path,omitempty"`
 	Source   string `json:"source,omitempty"`
+	// ID, when set, is the session ID to open under instead of a
+	// server-minted one — the cluster gateway mints IDs itself so the
+	// consistent-hash ring can route every later request without any
+	// per-session routing state. An ID already in use is a 409.
+	ID string `json:"id,omitempty"`
 }
 
 // OpenResponse describes the created session.
@@ -205,6 +210,31 @@ type ApplyPlanResponse struct {
 	Plan    string `json:"plan"`
 	Applied int    `json:"applied"`
 	Hash    string `json:"hash"`
+}
+
+// MigrateRequest moves a session to another pedd node. Target is the
+// destination's base URL (e.g. "http://10.0.0.2:7473"); the source
+// freezes the session, drains its queue, ships the journal stream to
+// the target's import endpoint, and leaves a tombstone behind that
+// answers 421 with the new location.
+type MigrateRequest struct {
+	Target string `json:"target"`
+}
+
+// MigrateResponse reports a completed outbound migration.
+type MigrateResponse struct {
+	ID string `json:"id"`
+	// Location is the session's new URL on the target node.
+	Location string `json:"location"`
+	// Bytes is the size of the journal stream that was shipped.
+	Bytes int64 `json:"bytes"`
+}
+
+// ImportResponse reports a session adopted from a journal stream.
+type ImportResponse struct {
+	ID      string `json:"id"`
+	Path    string `json:"path"`
+	Records int    `json:"records"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response. The

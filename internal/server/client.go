@@ -26,6 +26,9 @@ const (
 	DefaultBaseBackoff = 50 * time.Millisecond
 	// DefaultMaxBackoff caps a single backoff sleep.
 	DefaultMaxBackoff = 2 * time.Second
+	// maxRedirectHops bounds how many migration redirects (421/307 +
+	// Location) one logical request follows before giving up.
+	maxRedirectHops = 3
 )
 
 // APIError is a non-2xx response from the daemon: the status code,
@@ -38,6 +41,9 @@ type APIError struct {
 	Message    string
 	RetryAfter time.Duration
 	RequestID  string
+	// Location carries the response's Location header — on a 421
+	// Misdirected Request it names where a migrated session now lives.
+	Location string
 }
 
 func (e *APIError) Error() string {
@@ -141,9 +147,6 @@ func retryable(err error, idempotent bool) (bool, time.Duration) {
 // do issues one request with the retry policy; out (when non-nil)
 // receives the decoded 2xx body, and non-2xx bodies become *APIError.
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	var payload []byte
 	if in != nil {
 		var err error
@@ -153,13 +156,49 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 	}
 	idempotent := method == http.MethodGet || method == http.MethodHead ||
 		method == http.MethodDelete || method == http.MethodPut
-	// One request ID for the whole logical request: retries reuse it,
-	// so the daemon's access log shows every attempt under one ID.
+	return c.doBytes(ctx, method, path, payload, "application/json", in != nil, idempotent, out)
+}
+
+// doBytes runs the retry-and-redirect loop over a prepared payload.
+// Migration redirects — 421 Misdirected Request (a tombstone on the
+// session's old node) or 307 (a proxy handoff) carrying Location — are
+// followed with the same method, body, and request ID, so a client
+// riding out a live migration never sees the move. Hops are bounded
+// and loops refuse: a stale pair of tombstones pointing at each other
+// becomes a clear error, not a spin.
+func (c *Client) doBytes(ctx context.Context, method, path string, payload []byte, contentType string, hasBody, idempotent bool, out interface{}) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// One request ID for the whole logical request: retries and
+	// redirect hops reuse it, so every node's access log shows the
+	// journey under one ID.
 	reqID := newRequestID()
+	target := c.Base + path
+	visited := map[string]bool{target: true}
+	hops := 0
 	for attempt := 0; ; attempt++ {
-		err := c.attempt(ctx, method, path, payload, in != nil, out, reqID)
+		err := c.attempt(ctx, method, target, payload, contentType, hasBody, out, reqID)
 		if err == nil {
 			return nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Location != "" &&
+			(apiErr.Status == http.StatusMisdirectedRequest || apiErr.Status == http.StatusTemporaryRedirect) {
+			next, rerr := redirectTarget(target, apiErr.Location)
+			if rerr != nil {
+				return fmt.Errorf("unusable Location %q following migration: %w", apiErr.Location, err)
+			}
+			if hops++; hops > maxRedirectHops {
+				return fmt.Errorf("gave up after %d migration redirects at %s: %w", maxRedirectHops, next, err)
+			}
+			if visited[next] {
+				return fmt.Errorf("migration redirect loop back to %s: %w", next, err)
+			}
+			visited[next] = true
+			target = next
+			attempt-- // a redirect is progress, not a spent retry
+			continue
 		}
 		ok, retryAfter := retryable(err, idempotent)
 		if !ok || attempt >= c.maxRetries() || ctx.Err() != nil {
@@ -175,8 +214,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 	}
 }
 
+// redirectTarget resolves a Location header (absolute or relative)
+// against the URL that answered with it.
+func redirectTarget(cur, loc string) (string, error) {
+	base, err := url.Parse(cur)
+	if err != nil {
+		return "", err
+	}
+	ref, err := url.Parse(loc)
+	if err != nil {
+		return "", err
+	}
+	return base.ResolveReference(ref).String(), nil
+}
+
 // attempt issues one HTTP request under the per-attempt timeout.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, out interface{}, reqID string) error {
+func (c *Client) attempt(ctx context.Context, method, fullURL string, payload []byte, contentType string, hasBody bool, out interface{}, reqID string) error {
 	timeout := c.Timeout
 	if timeout == 0 {
 		timeout = DefaultClientTimeout
@@ -190,12 +243,12 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	if hasBody {
 		body = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, fullURL, body)
 	if err != nil {
 		return err
 	}
 	if hasBody {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	if reqID != "" {
 		req.Header.Set("X-Request-ID", reqID)
@@ -214,13 +267,22 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
 		} else {
-			apiErr.Message = fmt.Sprintf("%s %s: %s", method, path, resp.Status)
+			apiErr.Message = fmt.Sprintf("%s %s: %s", method, fullURL, resp.Status)
 		}
 		apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		apiErr.Location = resp.Header.Get("Location")
 		return apiErr
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		*raw = b
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
@@ -359,6 +421,43 @@ func (c *Client) Edit(ctx context.Context, id string, req EditRequest) error {
 // Undo reverts the last change.
 func (c *Client) Undo(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/undo", nil, nil)
+}
+
+// ExportJournal fetches a session's raw journal stream — the byte
+// image Import replays.
+func (c *Client) ExportJournal(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.doBytes(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/journal", nil, "", false, true, &raw)
+	return raw, err
+}
+
+// Import ships a journal stream to the daemon for adoption under id.
+// Transport errors are not retried (a duplicate of a success would
+// 409), but backpressure rejections still back off inside doBytes.
+func (c *Client) Import(ctx context.Context, id string, stream []byte) (ImportResponse, error) {
+	var resp ImportResponse
+	err := c.doBytes(ctx, http.MethodPost, "/v1/sessions/import?id="+url.QueryEscape(id),
+		stream, "application/octet-stream", true, false, &resp)
+	return resp, err
+}
+
+// Migrate asks the session's current node to move it to the node at
+// target (a base URL).
+func (c *Client) Migrate(ctx context.Context, id, target string) (MigrateResponse, error) {
+	var resp MigrateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/migrate", MigrateRequest{Target: target}, &resp)
+	return resp, err
+}
+
+// Ready probes GET /readyz once, no retries: nil means the daemon is
+// accepting new work, an *APIError with status 503 means it is
+// draining. (The retrying do() would mask exactly the answer health
+// probes ask for.)
+func (c *Client) Ready(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.attempt(ctx, http.MethodGet, c.Base+"/readyz", nil, "", false, nil, newRequestID())
 }
 
 // CacheStats fetches the daemon's analysis cache counters.

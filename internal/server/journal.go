@@ -378,11 +378,18 @@ type scanResult struct {
 // *final* record is a torn tail (truncate and carry on), damage with
 // intact records after it is corruption (quarantine).
 func readJournal(path string) (scanResult, error) {
-	res := scanResult{tornAt: -1, corruptAt: -1}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return res, err
+		return scanResult{tornAt: -1, corruptAt: -1}, err
 	}
+	return scanJournal(data), nil
+}
+
+// scanJournal decodes a journal image already in memory — the shared
+// scanner behind file recovery (readJournal) and migration-stream
+// adoption (Manager.Import), so both classify damage identically.
+func scanJournal(data []byte) scanResult {
+	res := scanResult{tornAt: -1, corruptAt: -1}
 	off := int64(0)
 	n := int64(len(data))
 	for off < n {
@@ -424,5 +431,46 @@ func readJournal(path string) (scanResult, error) {
 		res.size = end
 		off = end
 	}
-	return res, nil
+	return res
+}
+
+// CleanJournalStream prepares a journal image read off a *dead* node's
+// disk for import: a torn tail (the expected kill -9 aftermath — that
+// record was never acknowledged) is truncated away, exactly as startup
+// recovery would; mid-stream corruption is an error. This is the
+// gateway's failover path. Live migration streams never need it —
+// Export only ships complete records — which is why Import itself
+// stays strict and rejects torn streams whole.
+func CleanJournalStream(data []byte) ([]byte, error) {
+	res := scanJournal(data)
+	if res.corrupt != nil {
+		return nil, res.corrupt
+	}
+	if len(res.records) == 0 {
+		return nil, errors.New("journal stream holds no complete records")
+	}
+	return data[:res.size], nil
+}
+
+// contents reads the journal's clean byte image — everything up to the
+// end of the last complete record — for export to another node. Called
+// from the session actor after a drain, so no append can be in flight;
+// the mutex only fences the manager's concurrent flush ticker.
+func (j *journal) contents() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, errors.New("journal closed")
+	}
+	if err := j.syncLocked(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) < j.size {
+		return nil, fmt.Errorf("journal file shorter than logical size: %d < %d", len(data), j.size)
+	}
+	return data[:j.size], nil
 }

@@ -76,6 +76,10 @@ type Manager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+	// moved maps migrated-away session IDs to the base URL of the node
+	// that adopted them; requests for them answer 421 + Location.
+	// Persisted as <id>.moved files when a datadir is configured.
+	moved map[string]string
 	// reserved counts opens in flight (admitted but not yet
 	// registered), so the MaxSessions cap holds across the analysis.
 	reserved int
@@ -107,6 +111,7 @@ func NewManager(cfg Config) *Manager {
 		cfg:      cfg,
 		metrics:  cfg.Metrics,
 		sessions: map[string]*Session{},
+		moved:    map[string]string{},
 		stop:     make(chan struct{}),
 		planCfg:  newPlanConfig(cfg),
 	}
@@ -220,6 +225,21 @@ func (m *Manager) Open(ctx context.Context, req OpenRequest) (*Session, OpenResp
 	if path == "" {
 		path = "input.f"
 	}
+	if req.ID != "" {
+		// Gateway-minted ID: honor it so the cluster's consistent-hash
+		// routing needs no per-session state, but never silently reuse
+		// an ID that is (or was) taken here.
+		if err := validateSessionID(req.ID); err != nil {
+			return nil, resp, err
+		}
+		m.mu.Lock()
+		_, movedAway := m.moved[req.ID]
+		taken := m.sessions[req.ID] != nil || movedAway
+		m.mu.Unlock()
+		if taken {
+			return nil, resp, fmt.Errorf("%w: %s", ErrSessionExists, req.ID)
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, resp, err
 	}
@@ -290,11 +310,20 @@ func (m *Manager) Open(ctx context.Context, req OpenRequest) (*Session, OpenResp
 	var jr *journal
 	var jrErr error
 	if m.cfg.DataDir != "" {
-		for tries := 0; ; tries++ {
-			id = newSessionID()
+		if req.ID != "" {
+			id = req.ID
 			jr, jrErr = createJournal(m.cfg.DataDir, id, m.cfg.Fsync, m.metrics)
-			if jrErr == nil || !errors.Is(jrErr, os.ErrExist) || tries >= 8 {
-				break
+			if errors.Is(jrErr, os.ErrExist) {
+				release()
+				return nil, resp, fmt.Errorf("%w: %s (journal already on disk)", ErrSessionExists, id)
+			}
+		} else {
+			for tries := 0; ; tries++ {
+				id = newSessionID()
+				jr, jrErr = createJournal(m.cfg.DataDir, id, m.cfg.Fsync, m.metrics)
+				if jrErr == nil || !errors.Is(jrErr, os.ErrExist) || tries >= 8 {
+					break
+				}
 			}
 		}
 		if jr != nil {
@@ -308,16 +337,30 @@ func (m *Manager) Open(ctx context.Context, req OpenRequest) (*Session, OpenResp
 		}
 	}
 	m.mu.Lock()
-	if jr != nil && m.sessions[id] != nil {
-		// A live session without a journal (degraded at create) can
-		// share the ID namespace without a wal backing it; give up the
-		// colliding journal rather than let the wal name drift from
-		// the session ID.
-		jr.remove()
-		jr, jrErr = nil, fmt.Errorf("session ID collision on %s", id)
-	}
-	if jr == nil {
-		for id = newSessionID(); m.sessions[id] != nil; id = newSessionID() {
+	if req.ID != "" {
+		// Explicit IDs must fail on collision, never remint — the
+		// caller (the gateway) routes by this exact ID.
+		id = req.ID
+		if m.sessions[id] != nil || m.moved[id] != "" {
+			m.mu.Unlock()
+			if jr != nil {
+				jr.remove()
+			}
+			release()
+			return nil, resp, fmt.Errorf("%w: %s", ErrSessionExists, id)
+		}
+	} else {
+		if jr != nil && (m.sessions[id] != nil || m.moved[id] != "") {
+			// A live session without a journal (degraded at create) can
+			// share the ID namespace without a wal backing it; give up
+			// the colliding journal rather than let the wal name drift
+			// from the session ID.
+			jr.remove()
+			jr, jrErr = nil, fmt.Errorf("session ID collision on %s", id)
+		}
+		if jr == nil {
+			for id = newSessionID(); m.sessions[id] != nil || m.moved[id] != ""; id = newSessionID() {
+			}
 		}
 	}
 	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
@@ -399,13 +442,19 @@ func (m *Manager) List(ctx context.Context) []SessionInfo {
 	return out
 }
 
-// Close removes and stops a session.
+// Close removes and stops a session. Deleting a migrated-away ID
+// clears its tombstone — the operator's way to stop the 421 forwarding.
 func (m *Manager) Close(id string) bool {
 	m.mu.Lock()
 	ss := m.sessions[id]
 	delete(m.sessions, id)
+	_, moved := m.moved[id]
 	m.mu.Unlock()
 	if ss == nil {
+		if moved {
+			m.clearTombstone(id)
+			return true
+		}
 		return false
 	}
 	ss.close()

@@ -1,32 +1,24 @@
 package server
 
 import (
-	"bufio"
 	"crypto/rand"
 	"encoding/hex"
-	"fmt"
-	"io"
-	"math"
 	"net/http"
 	"net/http/pprof"
-	"sort"
 	"strconv"
-	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// This file is the daemon's observability substrate: counter, gauge
-// and histogram primitives on sync/atomic (no dependencies), a
-// registry that renders them in the Prometheus text exposition
-// format, and the ops handler that mounts /metrics next to
-// net/http/pprof. Armed or not, every record is a handful of atomic
-// operations — cheap enough to leave on in the serving hot path.
+// This file is the daemon's observability surface: every pedd_ metric
+// family, registered on the generic Registry in registry.go, plus the
+// ops handler that mounts /metrics next to net/http/pprof. Armed or
+// not, every record is a handful of atomic operations — cheap enough
+// to leave on in the serving hot path.
 //
 // Conventions (documented in DESIGN.md "Observability"):
 //
-//   - every metric is prefixed pedd_;
+//   - every metric is prefixed pedd_ (the gateway's are pedgw_);
 //   - durations are histograms in seconds with the shared timeBuckets
 //     schedule;
 //   - label cardinality is bounded by construction: routes are mux
@@ -41,139 +33,19 @@ var timeBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// Counter is a monotonically increasing metric.
-type Counter struct{ v atomic.Uint64 }
-
-// Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
-
-// Add adds n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
-
-// Value reads the current count.
-func (c *Counter) Value() uint64 { return c.v.Load() }
-
-// Gauge is a metric that can go up and down.
-type Gauge struct{ v atomic.Int64 }
-
-// Inc adds one.
-func (g *Gauge) Inc() { g.v.Add(1) }
-
-// Dec subtracts one.
-func (g *Gauge) Dec() { g.v.Add(-1) }
-
-// Set overwrites the value.
-func (g *Gauge) Set(v int64) { g.v.Store(v) }
-
-// Value reads the current value.
-func (g *Gauge) Value() int64 { return g.v.Load() }
-
-// Histogram counts observations into cumulative le-buckets and keeps
-// the running sum, Prometheus-style. Observations are lock-free; a
-// scrape that races an Observe may see the buckets one observation
-// ahead of the sum, which monitoring tolerates by design.
-type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
-	sum    atomic.Uint64   // float64 bits, CAS-updated
-	count  atomic.Uint64
-}
-
-func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
-	h.count.Add(1)
-	for {
-		old := h.sum.Load()
-		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
-	}
-}
-
-// Count reads the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Sum reads the sum of observed values.
-func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
-
-// CounterVec is a family of counters split by label values.
-type CounterVec struct {
-	mu sync.RWMutex
-	m  map[string]*Counter
-}
-
-// With returns the counter for the given label values, creating it on
-// first use. Values must match the family's label names in count and
-// order.
-func (v *CounterVec) With(values ...string) *Counter {
-	key := strings.Join(values, "\xff")
-	v.mu.RLock()
-	c := v.m[key]
-	v.mu.RUnlock()
-	if c != nil {
-		return c
-	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if c := v.m[key]; c != nil {
-		return c
-	}
-	c = &Counter{}
-	v.m[key] = c
-	return c
-}
-
-// HistogramVec is a family of histograms split by label values.
-type HistogramVec struct {
-	bounds []float64
-	mu     sync.RWMutex
-	m      map[string]*Histogram
-}
-
-// With returns the histogram for the given label values, creating it
-// on first use.
-func (v *HistogramVec) With(values ...string) *Histogram {
-	key := strings.Join(values, "\xff")
-	v.mu.RLock()
-	h := v.m[key]
-	v.mu.RUnlock()
-	if h != nil {
-		return h
-	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if h := v.m[key]; h != nil {
-		return h
-	}
-	h = newHistogram(v.bounds)
-	v.m[key] = h
-	return h
-}
-
-// family is one named metric with its exposition metadata.
-type family struct {
-	name   string
-	help   string
-	kind   string // "counter", "gauge", "histogram"
-	labels []string
-
-	counter *Counter
-	gauge   *Gauge
-	hist    *Histogram
-	cvec    *CounterVec
-	hvec    *HistogramVec
+// TimeBuckets exposes the shared duration-bucket schedule so sibling
+// registries (the gateway's) use the same histogram shape.
+func TimeBuckets() []float64 {
+	out := make([]float64, len(timeBuckets))
+	copy(out, timeBuckets)
+	return out
 }
 
 // Metrics is the daemon's metric registry. One instance is shared by
 // the Manager, its sessions, the analysis cache, and the HTTP layer;
 // render it with WriteProm or serve it via Handler / OpsHandler.
 type Metrics struct {
-	families []*family
+	*Registry
 
 	// HTTP layer.
 	HTTPRequests *CounterVec   // route, method, code (status class)
@@ -208,6 +80,14 @@ type Metrics struct {
 	RecoveriesTruncated   *Counter
 	RecoveriesQuarantined *Counter
 
+	// Cluster: session migration between pedd nodes.
+	MigrationsOut      *Counter
+	MigrationsOutBytes *Counter
+	MigrationsFailed   *Counter
+	SessionsImported   *Counter
+	ImportsRejected    *Counter
+	SessionsMigrating  *Gauge
+
 	// Per-phase analysis timings (phase = parse, interproc, dataflow,
 	// dependence, perf), fed through core's PhaseObserver hook.
 	AnalysisPhase *HistogramVec // phase
@@ -225,110 +105,97 @@ type Metrics struct {
 
 // NewMetrics builds a registry with every pedd metric registered.
 func NewMetrics() *Metrics {
-	m := &Metrics{}
-	m.HTTPRequests = m.counterVec("pedd_http_requests_total",
+	m := &Metrics{Registry: NewRegistry()}
+	m.HTTPRequests = m.CounterVec("pedd_http_requests_total",
 		"HTTP requests by mux route, method, and status class.", "route", "method", "code")
-	m.HTTPLatency = m.histogramVec("pedd_http_request_seconds",
+	m.HTTPLatency = m.HistogramVec("pedd_http_request_seconds",
 		"End-to-end HTTP request latency by mux route.", timeBuckets, "route")
-	m.HTTPInflight = m.gauge("pedd_http_inflight",
+	m.HTTPInflight = m.Gauge("pedd_http_inflight",
 		"HTTP requests currently being served.")
-	m.SessionsLive = m.gauge("pedd_sessions_live",
+	m.SessionsLive = m.Gauge("pedd_sessions_live",
 		"Sessions currently registered (including quarantined ones).")
-	m.SessionsQuarantined = m.gauge("pedd_sessions_quarantined",
+	m.SessionsQuarantined = m.Gauge("pedd_sessions_quarantined",
 		"Live sessions quarantined after a panic.")
-	m.SessionsReadOnly = m.gauge("pedd_sessions_readonly",
+	m.SessionsReadOnly = m.Gauge("pedd_sessions_readonly",
 		"Live sessions degraded to read-only after a journal I/O failure.")
-	m.SessionsOpened = m.counter("pedd_sessions_opened_total",
+	m.SessionsOpened = m.Counter("pedd_sessions_opened_total",
 		"Sessions successfully opened since start.")
-	m.SessionsClosed = m.counter("pedd_sessions_closed_total",
+	m.SessionsClosed = m.Counter("pedd_sessions_closed_total",
 		"Sessions closed by request or shutdown since start.")
-	m.SessionsEvicted = m.counter("pedd_sessions_evicted_total",
+	m.SessionsEvicted = m.Counter("pedd_sessions_evicted_total",
 		"Sessions evicted by the idle-TTL janitor since start.")
-	m.QueueDepth = m.gauge("pedd_session_queue_depth",
+	m.QueueDepth = m.Gauge("pedd_session_queue_depth",
 		"Commands queued on session actors, summed over sessions.")
-	m.QueueWait = m.histogram("pedd_session_queue_wait_seconds",
+	m.QueueWait = m.Histogram("pedd_session_queue_wait_seconds",
 		"Time commands spent queued before their session actor ran them.", timeBuckets)
-	m.ActorService = m.histogram("pedd_actor_service_seconds",
+	m.ActorService = m.Histogram("pedd_actor_service_seconds",
 		"Time session actors spent executing commands.", timeBuckets)
-	m.CacheHits = m.counter("pedd_cache_hits_total",
+	m.CacheHits = m.Counter("pedd_cache_hits_total",
 		"Analysis cache hits.")
-	m.CacheMisses = m.counter("pedd_cache_misses_total",
+	m.CacheMisses = m.Counter("pedd_cache_misses_total",
 		"Analysis cache misses.")
-	m.CacheEvictions = m.counter("pedd_cache_evictions_total",
+	m.CacheEvictions = m.Counter("pedd_cache_evictions_total",
 		"Artifacts evicted from the analysis cache by LRU pressure.")
-	m.Materializations = m.counter("pedd_cache_materializations_total",
+	m.Materializations = m.Counter("pedd_cache_materializations_total",
 		"Artifact-backed sessions materialized into live sessions.")
-	m.JournalAppend = m.histogram("pedd_journal_append_seconds",
+	m.JournalAppend = m.Histogram("pedd_journal_append_seconds",
 		"Time to append one record to a session journal.", timeBuckets)
-	m.JournalFsync = m.histogram("pedd_journal_fsync_seconds",
+	m.JournalFsync = m.Histogram("pedd_journal_fsync_seconds",
 		"Time to fsync a session journal.", timeBuckets)
-	m.JournalBytes = m.counter("pedd_journal_bytes_total",
+	m.JournalBytes = m.Counter("pedd_journal_bytes_total",
 		"Bytes appended to session journals.")
-	m.JournalSnapshots = m.counter("pedd_journal_snapshots_total",
+	m.JournalSnapshots = m.Counter("pedd_journal_snapshots_total",
 		"Snapshot compactions that rewrote a session journal.")
-	m.RecoveriesTotal = m.counter("pedd_recoveries_total",
+	m.RecoveriesTotal = m.Counter("pedd_recoveries_total",
 		"Sessions rebuilt from their journals at startup.")
-	m.RecoveriesTruncated = m.counter("pedd_recoveries_truncated_total",
+	m.RecoveriesTruncated = m.Counter("pedd_recoveries_truncated_total",
 		"Recoveries that truncated a torn journal tail (expected after kill -9).")
-	m.RecoveriesQuarantined = m.counter("pedd_recoveries_quarantined_total",
+	m.RecoveriesQuarantined = m.Counter("pedd_recoveries_quarantined_total",
 		"Recoveries abandoned on mid-stream journal corruption; the session is quarantined.")
-	m.AnalysisPhase = m.histogramVec("pedd_analysis_phase_seconds",
+	m.MigrationsOut = m.Counter("pedd_migrations_out_total",
+		"Sessions migrated away to another node (tombstone left behind).")
+	m.MigrationsOutBytes = m.Counter("pedd_migrations_out_bytes_total",
+		"Journal bytes shipped to other nodes by outbound migrations.")
+	m.MigrationsFailed = m.Counter("pedd_migrations_failed_total",
+		"Outbound migrations that failed; the source session stayed authoritative.")
+	m.SessionsImported = m.Counter("pedd_sessions_imported_total",
+		"Sessions adopted from another node's journal stream.")
+	m.ImportsRejected = m.Counter("pedd_imports_rejected_total",
+		"Import streams rejected (torn, corrupt, conflicting, or unreplayable).")
+	m.SessionsMigrating = m.Gauge("pedd_sessions_migrating",
+		"Sessions frozen mid-migration (mutations rejected until it resolves).")
+	m.AnalysisPhase = m.HistogramVec("pedd_analysis_phase_seconds",
 		"Wall time of analysis phases (parse, interproc, dataflow, dependence, perf).",
 		timeBuckets, "phase")
-	m.PlannerWorldsForked = m.counter("pedd_planner_worlds_forked_total",
+	m.PlannerWorldsForked = m.Counter("pedd_planner_worlds_forked_total",
 		"Speculative worlds forked by plan searches.")
-	m.PlannerWorldsScored = m.counter("pedd_planner_worlds_scored_total",
+	m.PlannerWorldsScored = m.Counter("pedd_planner_worlds_scored_total",
 		"Speculative worlds that survived evaluation and were scored.")
-	m.PlannerWorldsDiscarded = m.counter("pedd_planner_worlds_discarded_total",
+	m.PlannerWorldsDiscarded = m.Counter("pedd_planner_worlds_discarded_total",
 		"Speculative worlds discarded (rejected step, panic, duplicate, or failed validation).")
-	m.PlannerWorldsAccepted = m.counter("pedd_planner_worlds_accepted_total",
+	m.PlannerWorldsAccepted = m.Counter("pedd_planner_worlds_accepted_total",
 		"Accepted plan worlds: plans replayed through the journaled mutation path.")
-	m.PlannerWorldsLive = m.gauge("pedd_planner_worlds_live",
+	m.PlannerWorldsLive = m.Gauge("pedd_planner_worlds_live",
 		"Speculative worlds currently being evaluated.")
-	m.PlannerSearch = m.histogram("pedd_planner_search_seconds",
+	m.PlannerSearch = m.Histogram("pedd_planner_search_seconds",
 		"Wall time of speculative plan searches.", timeBuckets)
 	return m
-}
-
-func (m *Metrics) counter(name, help string) *Counter {
-	c := &Counter{}
-	m.families = append(m.families, &family{name: name, help: help, kind: "counter", counter: c})
-	return c
-}
-
-func (m *Metrics) gauge(name, help string) *Gauge {
-	g := &Gauge{}
-	m.families = append(m.families, &family{name: name, help: help, kind: "gauge", gauge: g})
-	return g
-}
-
-func (m *Metrics) histogram(name, help string, bounds []float64) *Histogram {
-	h := newHistogram(bounds)
-	m.families = append(m.families, &family{name: name, help: help, kind: "histogram", hist: h})
-	return h
-}
-
-func (m *Metrics) counterVec(name, help string, labels ...string) *CounterVec {
-	v := &CounterVec{m: map[string]*Counter{}}
-	m.families = append(m.families, &family{name: name, help: help, kind: "counter", labels: labels, cvec: v})
-	return v
-}
-
-func (m *Metrics) histogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
-	v := &HistogramVec{bounds: bounds, m: map[string]*Histogram{}}
-	m.families = append(m.families, &family{name: name, help: help, kind: "histogram", labels: labels, hvec: v})
-	return v
 }
 
 // ObserveHTTP records one served request: the per-route/method/class
 // counter and the per-route latency histogram.
 func (m *Metrics) ObserveHTTP(route, method string, status int, d time.Duration) {
-	class := "other"
-	if status >= 100 && status < 600 {
-		class = strconv.Itoa(status/100) + "xx"
-	}
-	m.HTTPRequests.With(route, method, class).Inc()
+	m.HTTPRequests.With(route, method, StatusClass(status)).Inc()
 	m.HTTPLatency.With(route).Observe(d.Seconds())
+}
+
+// StatusClass collapses an HTTP status to its class label ("2xx".."5xx",
+// "other") — the bounded-cardinality form every registry labels by.
+func StatusClass(status int) string {
+	if status >= 100 && status < 600 {
+		return strconv.Itoa(status/100) + "xx"
+	}
+	return "other"
 }
 
 // ObservePhase implements core.PhaseObserver over the phase-timing
@@ -337,119 +204,41 @@ func (m *Metrics) ObservePhase(phase string, d time.Duration) {
 	m.AnalysisPhase.With(phase).Observe(d.Seconds())
 }
 
-// WriteProm renders every registered metric in the Prometheus text
-// exposition format (version 0.0.4), families in registration order
-// and label children in sorted order, so output is deterministic for
-// a quiescent registry.
-func (m *Metrics) WriteProm(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for _, f := range m.families {
-		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
-		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
-		switch {
-		case f.counter != nil:
-			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
-		case f.gauge != nil:
-			fmt.Fprintf(bw, "%s %d\n", f.name, f.gauge.Value())
-		case f.hist != nil:
-			writeHistogram(bw, f.name, "", f.hist)
-		case f.cvec != nil:
-			f.cvec.mu.RLock()
-			keys := make([]string, 0, len(f.cvec.m))
-			for k := range f.cvec.m {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, key := range keys {
-				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, promLabels(f.labels, key), f.cvec.m[key].Value())
-			}
-			f.cvec.mu.RUnlock()
-		case f.hvec != nil:
-			f.hvec.mu.RLock()
-			keys := make([]string, 0, len(f.hvec.m))
-			for k := range f.hvec.m {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, key := range keys {
-				writeHistogram(bw, f.name, promLabels(f.labels, key), f.hvec.m[key])
-			}
-			f.hvec.mu.RUnlock()
-		}
+// Readiness is the drain-aware readiness flag behind GET /readyz.
+// Liveness (/healthz) answers "the process is up"; readiness answers
+// "send me traffic". A rolling restart flips it before connections
+// close, so load balancers and the cluster gateway stop routing new
+// work while in-flight requests drain.
+type Readiness struct{ draining atomic.Bool }
+
+// SetDraining flips the readiness answer (true = /readyz answers 503).
+func (rd *Readiness) SetDraining(v bool) { rd.draining.Store(v) }
+
+// Draining reports whether the process is refusing new work.
+func (rd *Readiness) Draining() bool { return rd.draining.Load() }
+
+// handler answers 200 {"status":"ready"} or 503 {"status":"draining"}.
+// A nil Readiness is always ready (standalone embedders).
+func (rd *Readiness) handler(w http.ResponseWriter, r *http.Request) {
+	if rd != nil && rd.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
 	}
-	return bw.Flush()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// writeHistogram emits the cumulative buckets, sum, and count of one
-// histogram child. labels is the pre-rendered label list without
-// braces ("" for an unlabeled histogram).
-func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
-	sep := ""
-	if labels != "" {
-		sep = ","
-	}
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n",
-			name, labels, sep, formatFloat(b), cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
-	if labels != "" {
-		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatFloat(h.Sum()))
-		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
-	} else {
-		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
-		fmt.Fprintf(w, "%s_count %d\n", name, cum)
-	}
-}
-
-func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-
-// promLabels renders `name="value",...` for one vec child key.
-func promLabels(names []string, key string) string {
-	values := strings.Split(key, "\xff")
-	var b strings.Builder
-	for i, n := range names {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		v := ""
-		if i < len(values) {
-			v = values[i]
-		}
-		b.WriteString(n)
-		b.WriteString(`="`)
-		b.WriteString(escapeLabel(v))
-		b.WriteByte('"')
-	}
-	return b.String()
-}
-
-func escapeLabel(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
-}
-
-// Handler serves the registry in the Prometheus text format.
-func (m *Metrics) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = m.WriteProm(w)
-	})
-}
-
-// OpsHandler mounts the operational surface — /metrics, /healthz, and
-// net/http/pprof under /debug/pprof/ — for the opt-in ops listener
-// (pedd -opsaddr). It is deliberately a separate handler from Server
-// so profiling and scraping never share the serving port.
-func OpsHandler(m *Metrics) http.Handler {
+// OpsHandler mounts the operational surface — /metrics, /healthz,
+// /readyz, and net/http/pprof under /debug/pprof/ — for the opt-in ops
+// listener (pedd -opsaddr). It is deliberately a separate handler from
+// Server so profiling and scraping never share the serving port.
+// ready may be nil (always ready).
+func OpsHandler(m *Metrics, ready *Readiness) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", m.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", ready.handler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -159,7 +159,7 @@ func TestMetricsFullSessionFlow(t *testing.T) {
 	m := newTestManager(t, Config{CacheSize: 8})
 	ts := httptest.NewServer(New(m))
 	defer ts.Close()
-	ops := httptest.NewServer(OpsHandler(m.Metrics()))
+	ops := httptest.NewServer(OpsHandler(m.Metrics(), nil))
 	defer ops.Close()
 	c := NewClient(ts.URL)
 

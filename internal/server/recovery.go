@@ -48,11 +48,14 @@ type RecoveryStats struct {
 	// Removed journals held no durable record at all (the open record
 	// never reached the disk) — deleted, nothing to rebuild.
 	Removed int
+	// Moved counts tombstones loaded: sessions that migrated away and
+	// keep answering 421 + Location after this restart.
+	Moved int
 }
 
 func (st RecoveryStats) String() string {
-	return fmt.Sprintf("recovered %d (truncated %d, read-only %d), quarantined %d, removed %d",
-		st.Recovered, st.Truncated, st.ReadOnly, st.Quarantined, st.Removed)
+	return fmt.Sprintf("recovered %d (truncated %d, read-only %d), quarantined %d, removed %d, moved %d",
+		st.Recovered, st.Truncated, st.ReadOnly, st.Quarantined, st.Removed, st.Moved)
 }
 
 // Recover scans the manager's datadir and rebuilds every journaled
@@ -71,13 +74,35 @@ func (m *Manager) Recover() (RecoveryStats, error) {
 	}
 	var wals []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
-			wals = append(wals, e.Name())
+		if e.IsDir() {
+			continue
+		}
+		switch name := e.Name(); {
+		case strings.HasSuffix(name, ".moved"):
+			id := strings.TrimSuffix(name, ".moved")
+			target, rerr := os.ReadFile(movedPath(m.cfg.DataDir, id))
+			if rerr != nil || len(strings.TrimSpace(string(target))) == 0 {
+				continue
+			}
+			m.mu.Lock()
+			m.moved[id] = strings.TrimSpace(string(target))
+			m.mu.Unlock()
+			st.Moved++
+		case strings.HasSuffix(name, ".wal"):
+			wals = append(wals, name)
 		}
 	}
 	sort.Strings(wals)
 	for _, name := range wals {
-		m.recoverOne(strings.TrimSuffix(name, ".wal"), &st)
+		id := strings.TrimSuffix(name, ".wal")
+		if _, moved := m.MovedTo(id); moved {
+			// The migration tombstoned this session but crashed before
+			// deleting its wal. The shipped copy is authoritative —
+			// replaying the leftover here would fork the session.
+			os.Remove(walPath(m.cfg.DataDir, id))
+			continue
+		}
+		m.recoverOne(id, &st)
 	}
 	return st, nil
 }
@@ -118,22 +143,10 @@ func (m *Manager) recoverOne(id string, st *RecoveryStats) {
 		return
 	}
 
-	// Rebuild the analysis through the cache: a datadir full of
-	// sessions on the same source analyzes once and pre-warms the
-	// artifact cache for post-restart opens.
-	key := core.AnalysisKey(base.Path, base.Source, dep.DefaultOptions(), false)
-	art := m.cache.Get(key)
-	var live *core.Session
-	if art == nil {
-		cs, newArt, err := m.analyzeOpen(key, base.Path, base.Source)
-		if err != nil {
-			m.registerHusk(id, base.Path, fmt.Sprintf("recovery: reanalyzing source: %v", err), st)
-			return
-		}
-		live = cs
-		if newArt != nil {
-			m.cache.Put(newArt)
-		}
+	art, live, err := m.rebuildAnalysis(base)
+	if err != nil {
+		m.registerHusk(id, base.Path, fmt.Sprintf("recovery: reanalyzing source: %v", err), st)
+		return
 	}
 
 	jr, err := openJournalAppend(dir, id, m.cfg.Fsync, res.size, res.lastSeq, m.metrics)
@@ -143,22 +156,7 @@ func (m *Manager) recoverOne(id string, st *RecoveryStats) {
 	}
 	ss := newSession(id, base.Path, base.Source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
 	ss.planCfg = m.planCfg
-
-	rest := res.records[1:]
-	var replayErr error
-	postErr := ss.post(context.Background(), func() {
-		if base.Op == recSnapshot {
-			replayErr = ss.applySnapshot(base)
-			if replayErr != nil {
-				return
-			}
-		}
-		for i := range rest {
-			if replayErr = ss.applyRecord(&rest[i]); replayErr != nil {
-				return
-			}
-		}
-	}, false)
+	postErr, replayErr := replayJournal(ss, base, res.records[1:])
 
 	m.mu.Lock()
 	m.sessions[id] = ss
@@ -180,6 +178,49 @@ func (m *Manager) recoverOne(id string, st *RecoveryStats) {
 		st.Recovered++
 		m.metrics.RecoveriesTotal.Inc()
 	}
+}
+
+// rebuildAnalysis rebuilds the analysis a journal's base record needs,
+// through the cache: a datadir (or an import wave) full of sessions on
+// the same source analyzes once and pre-warms the artifact cache.
+// Shared by startup recovery and migration import.
+func (m *Manager) rebuildAnalysis(base *record) (*Artifacts, *core.Session, error) {
+	key := core.AnalysisKey(base.Path, base.Source, dep.DefaultOptions(), false)
+	art := m.cache.Get(key)
+	var live *core.Session
+	if art == nil {
+		cs, newArt, err := m.analyzeOpen(key, base.Path, base.Source)
+		if err != nil {
+			return nil, nil, err
+		}
+		live = cs
+		if newArt != nil {
+			m.cache.Put(newArt)
+		}
+	}
+	return art, live, nil
+}
+
+// replayJournal replays a scanned journal (base + the rest) on a fresh
+// session's actor, through the same code paths a live client would
+// exercise. postErr reports a replay panic (the session quarantined
+// itself at the actor boundary); replayErr reports a replay that could
+// not proceed (divergence, injected fault, broken record). Recovery
+// keeps what it salvaged on failure; import tears down instead.
+func replayJournal(ss *Session, base *record, rest []record) (postErr, replayErr error) {
+	postErr = ss.post(context.Background(), func() {
+		if base.Op == recSnapshot {
+			if replayErr = ss.applySnapshot(base); replayErr != nil {
+				return
+			}
+		}
+		for i := range rest {
+			if replayErr = ss.applyRecord(&rest[i]); replayErr != nil {
+				return
+			}
+		}
+	}, false)
+	return postErr, replayErr
 }
 
 // applySnapshot restores the folded state a snapshot record carries:

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the generic half of the observability substrate:
+// counter, gauge, and histogram primitives on sync/atomic (no
+// dependencies) and a Registry that renders them in the Prometheus
+// text exposition format. It knows nothing about pedd — the daemon's
+// pedd_-prefixed families live in metrics.go, and the gateway's
+// pedgw_-prefixed families live in internal/cluster, both on this
+// same machinery, so every binary in the fleet scrapes identically.
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into cumulative le-buckets and keeps
+// the running sum, Prometheus-style. Observations are lock-free; a
+// scrape that races an Observe may see the buckets one observation
+// ahead of the sum, which monitoring tolerates by design.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reads the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reads the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// CounterVec is a family of counters split by label values.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Values must match the family's label names in count and
+// order.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	c := v.m[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.m[key]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	v.m[key] = c
+	return c
+}
+
+// GaugeVec is a family of gauges split by label values.
+type GaugeVec struct {
+	mu sync.RWMutex
+	m  map[string]*Gauge
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	g := v.m[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g := v.m[key]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	v.m[key] = g
+	return g
+}
+
+// HistogramVec is a family of histograms split by label values.
+type HistogramVec struct {
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// With returns the histogram for the given label values, creating it
+// on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	h := v.m[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.m[key]; h != nil {
+		return h
+	}
+	h = newHistogram(v.bounds)
+	v.m[key] = h
+	return h
+}
+
+// family is one named metric with its exposition metadata.
+type family struct {
+	name   string
+	help   string
+	kind   string // "counter", "gauge", "histogram"
+	labels []string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cvec    *CounterVec
+	gvec    *GaugeVec
+	hvec    *HistogramVec
+}
+
+// Registry is a set of named metric families rendered together. It is
+// append-only: constructors register a family and return its handle.
+type Registry struct {
+	families []*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.families = append(r.families, &family{name: name, help: help, kind: "counter", counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.families = append(r.families, &family{name: name, help: help, kind: "gauge", gauge: g})
+	return g
+}
+
+// Histogram registers and returns a histogram with the given buckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.families = append(r.families, &family{name: name, help: help, kind: "histogram", hist: h})
+	return h
+}
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{m: map[string]*Counter{}}
+	r.families = append(r.families, &family{name: name, help: help, kind: "counter", labels: labels, cvec: v})
+	return v
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{m: map[string]*Gauge{}}
+	r.families = append(r.families, &family{name: name, help: help, kind: "gauge", labels: labels, gvec: v})
+	return v
+}
+
+// HistogramVec registers and returns a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{bounds: bounds, m: map[string]*Histogram{}}
+	r.families = append(r.families, &family{name: name, help: help, kind: "histogram", labels: labels, hvec: v})
+	return v
+}
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families in registration order
+// and label children in sorted order, so output is deterministic for
+// a quiescent registry.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
+		case f.gauge != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.gauge.Value())
+		case f.hist != nil:
+			writeHistogram(bw, f.name, "", f.hist)
+		case f.cvec != nil:
+			f.cvec.mu.RLock()
+			for _, key := range sortedKeys(f.cvec.m) {
+				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, promLabels(f.labels, key), f.cvec.m[key].Value())
+			}
+			f.cvec.mu.RUnlock()
+		case f.gvec != nil:
+			f.gvec.mu.RLock()
+			for _, key := range sortedKeys(f.gvec.m) {
+				fmt.Fprintf(bw, "%s{%s} %d\n", f.name, promLabels(f.labels, key), f.gvec.m[key].Value())
+			}
+			f.gvec.mu.RUnlock()
+		case f.hvec != nil:
+			f.hvec.mu.RLock()
+			for _, key := range sortedKeys(f.hvec.m) {
+				writeHistogram(bw, f.name, promLabels(f.labels, key), f.hvec.m[key])
+			}
+			f.hvec.mu.RUnlock()
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeHistogram emits the cumulative buckets, sum, and count of one
+// histogram child. labels is the pre-rendered label list without
+// braces ("" for an unlabeled histogram).
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n",
+			name, labels, sep, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	}
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promLabels renders `name="value",...` for one vec child key.
+func promLabels(names []string, key string) string {
+	values := strings.Split(key, "\xff")
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Handler serves the registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

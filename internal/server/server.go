@@ -39,7 +39,15 @@ type Options struct {
 	// AccessLog, when set, gets one structured line per request
 	// (request ID, method, route, status, duration).
 	AccessLog *slog.Logger
+	// Ready, when set, backs GET /readyz on the serving mux (the ops
+	// listener mounts the same flag). Nil means always ready.
+	Ready *Readiness
 }
+
+// importMaxBytes caps journal streams on POST /v1/sessions/import.
+// Migration ships whole journals, which dwarf command bodies, so the
+// import route gets its own cap instead of Options.MaxBodyBytes.
+const importMaxBytes = 64 << 20
 
 // Server is the HTTP front of a Manager. Routes (all JSON):
 //
@@ -97,6 +105,7 @@ func NewWith(mgr *Manager, opts Options) *Server {
 	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.handle("GET /readyz", opts.Ready.handler)
 	s.handle("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, mgr.CacheStats())
 	})
@@ -122,7 +131,81 @@ func NewWith(mgr *Manager, opts Options) *Server {
 	s.handle("POST /v1/sessions/{id}/plan", s.session(s.handlePlan))
 	s.handle("GET /v1/sessions/{id}/plan", s.session(s.handlePlanStatus))
 	s.handle("POST /v1/sessions/{id}/apply-plan", s.session(s.handleApplyPlan))
+	// Cluster: session migration. The literal "import" segment outranks
+	// "{id}" in mux precedence, so "import" is never taken for an ID.
+	s.handle("GET /v1/sessions/{id}/journal", s.session(s.handleJournal))
+	s.handle("POST /v1/sessions/import", s.handleImport)
+	s.handle("POST /v1/sessions/{id}/migrate", s.session(s.handleMigrate))
 	return s
+}
+
+// handleJournal streams the session's journal image — the exact bytes
+// an import replays. Non-durable sessions get a synthesized one-record
+// snapshot stream.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request, ss *Session) {
+	data, err := ss.Export(r.Context())
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// handleImport adopts a session from a journal stream shipped by
+// another node (or by the gateway during failover). The stream is
+// validated end to end before anything is registered: a torn or
+// corrupt stream is rejected whole, never truncated-and-accepted like
+// startup recovery — the source must stay authoritative.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, errors.New("import: missing id query parameter"))
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("journal stream exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("import: reading stream: %w", err))
+		return
+	}
+	resp, err := s.mgr.Import(r.Context(), id, data)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrSessionExists):
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, ErrTooManySessions):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeOpError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req MigrateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Target == "" {
+		writeError(w, http.StatusBadRequest, errors.New("migrate: missing target"))
+		return
+	}
+	resp, err := s.mgr.Migrate(r.Context(), ss, req.Target)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, ss *Session) {
@@ -253,7 +336,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r = r.WithContext(ctx)
 	rec := &statusRecorder{ResponseWriter: w}
 	if s.opts.MaxBodyBytes > 0 && r.Body != nil {
-		r.Body = http.MaxBytesReader(rec, r.Body, s.opts.MaxBodyBytes)
+		limit := s.opts.MaxBodyBytes
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/sessions/import" && limit < importMaxBytes {
+			// Journal streams dwarf command bodies; the import route
+			// carries whole sessions and gets its own cap.
+			limit = importMaxBytes
+		}
+		r.Body = http.MaxBytesReader(rec, r.Body, limit)
 	}
 	s.metrics.HTTPInflight.Inc()
 	s.mux.ServeHTTP(rec, r)
@@ -278,11 +367,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// session resolves {id} before running the handler.
+// session resolves {id} before running the handler. A session that
+// migrated away answers 421 Misdirected Request with a Location
+// pointing at the same path on the node that adopted it, so a
+// redirect-following client (or the gateway) recovers in one hop.
 func (s *Server) session(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		ss := s.mgr.Get(r.PathValue("id"))
+		id := r.PathValue("id")
+		ss := s.mgr.Get(id)
 		if ss == nil {
+			if target, ok := s.mgr.MovedTo(id); ok {
+				w.Header().Set("Location", strings.TrimRight(target, "/")+r.URL.RequestURI())
+				writeError(w, http.StatusMisdirectedRequest,
+					fmt.Errorf("session %s migrated to %s", id, target))
+				return
+			}
 			writeError(w, http.StatusNotFound, errors.New("no such session"))
 			return
 		}
@@ -301,6 +400,8 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrTooManySessions):
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrSessionExists):
+			writeError(w, http.StatusConflict, err)
 		case errors.Is(err, ErrInternal):
 			writeError(w, http.StatusInternalServerError, err)
 		case errors.Is(err, context.DeadlineExceeded):
@@ -465,9 +566,11 @@ const statusClientClosedRequest = 499
 //	ErrSessionClosed         410  session closed or evicted
 //	ErrSessionFailed         500  session quarantined after a panic
 //	ErrSessionReadOnly       503  journal failed; mutations rejected
+//	ErrSessionMigrating      503  frozen mid-migration; retry shortly
 //	ErrQueueFull             429  per-session queue at capacity
 //	                              (or the daemon's plan capacity)
 //	ErrPlanConflict          409  stale/diverged/duplicate plan work
+//	ErrSessionExists         409  requested session ID already in use
 //	context.DeadlineExceeded 504  request deadline expired
 //	context.Canceled         499  client went away
 //	anything else            422  command-level rejection
@@ -475,8 +578,11 @@ func writeOpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrSessionClosed):
 		writeError(w, http.StatusGone, err)
-	case errors.Is(err, ErrPlanConflict):
+	case errors.Is(err, ErrPlanConflict), errors.Is(err, ErrSessionExists):
 		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrSessionMigrating):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrSessionFailed):
 		writeError(w, http.StatusInternalServerError, err)
 	case errors.Is(err, ErrSessionReadOnly):

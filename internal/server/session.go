@@ -38,6 +38,17 @@ var ErrQueueFull = errors.New("session queue full")
 // accepted because it could not be made durable.
 var ErrSessionReadOnly = errors.New("session read-only")
 
+// ErrSessionMigrating is returned for mutating requests against a
+// session frozen mid-migration: the exported stream must be the last
+// word on its state, so mutations are rejected (503 + Retry-After)
+// until the move completes (then 421 points at the new node) or fails
+// (then the session thaws here).
+var ErrSessionMigrating = errors.New("session migrating")
+
+// ErrSessionExists is returned when an explicitly requested session ID
+// (gateway-minted open, or an import) is already in use on this node.
+var ErrSessionExists = errors.New("session already exists")
+
 // defaultQueueDepth bounds the per-session pending-command queue when
 // the config does not say otherwise.
 const defaultQueueDepth = 32
@@ -88,6 +99,12 @@ type Session struct {
 	readonly atomic.Bool
 	roMu     sync.Mutex
 	roReason string
+
+	// migrating freezes the session while its journal stream is being
+	// shipped to another node: reads keep serving, mutations get
+	// ErrSessionMigrating. Flipped by freeze/unfreeze (CAS, so only one
+	// migration can hold the session at a time).
+	migrating atomic.Bool
 
 	// workers caps the analysis pool of the materialized session.
 	workers int
@@ -324,6 +341,73 @@ func (ss *Session) readonlyErr() error {
 	ss.roMu.Lock()
 	defer ss.roMu.Unlock()
 	return fmt.Errorf("%w: %s", ErrSessionReadOnly, ss.roReason)
+}
+
+// freeze claims the session for one migration: mutations start being
+// rejected with ErrSessionMigrating. Returns false when another
+// migration already holds it.
+func (ss *Session) freeze() bool {
+	if !ss.migrating.CompareAndSwap(false, true) {
+		return false
+	}
+	ss.metrics.SessionsMigrating.Inc()
+	return true
+}
+
+// unfreeze releases a failed (or finished) migration's claim.
+// Idempotent.
+func (ss *Session) unfreeze() {
+	if ss.migrating.CompareAndSwap(true, false) {
+		ss.metrics.SessionsMigrating.Dec()
+	}
+}
+
+// migratingErr returns the freeze error or nil. Checked inside
+// journalAppend — on the actor, not only at the HTTP edge — so the
+// freeze→export ordering is airtight: every mutation the actor runs
+// after the flag flips is rejected, and every one it ran before is in
+// the stream the export (posted after the flip, FIFO queue) captures.
+func (ss *Session) migratingErr() error {
+	if !ss.migrating.Load() {
+		return nil
+	}
+	return fmt.Errorf("%w: session is moving to another node; retry shortly", ErrSessionMigrating)
+}
+
+// Export renders the session's journal stream — the byte image an
+// import on another node replays. Durable sessions ship their wal
+// verbatim (full fidelity, sticky overlays included); non-durable
+// sessions synthesize a single snapshot record, which carries the
+// source, selection, and undo stack but cannot represent sticky
+// overlays (marks, assertions, classifications) — documented loss, see
+// DESIGN.md's failure-model table. Runs on the actor, so posting it
+// doubles as the migration drain barrier.
+func (ss *Session) Export(ctx context.Context) ([]byte, error) {
+	var data []byte
+	var opErr error
+	if err := ss.post(ctx, func() {
+		if ss.jr != nil {
+			data, opErr = ss.jr.contents()
+			return
+		}
+		snap := &record{Op: recSnapshot, Seq: 1, Time: time.Now().UnixNano(), Path: ss.path}
+		if ss.live != nil {
+			snap.Source = ss.live.Save()
+			snap.Undo = ss.live.UndoStack()
+			if u := ss.live.CurrentUnit(); u != nil {
+				snap.Unit = u.Name
+			}
+			snap.Loop = ss.liveLoopOrdinal()
+		} else {
+			snap.Source = ss.art.Printed
+			snap.Unit = ss.art.Units[ss.curUnit].Name
+			snap.Loop = ss.curLoop
+		}
+		data, opErr = encodeRecord(snap)
+	}, false); err != nil {
+		return nil, err
+	}
+	return data, opErr
 }
 
 // ReadOnlyReason reports why the session degraded ("" when writable).
@@ -656,8 +740,14 @@ func (ss *Session) currentHash() string {
 // journalAppend writes rec (journal-before-apply: the mutation only
 // runs if its record is durable per the fsync policy). An append
 // failure degrades the session to read-only and returns the
-// degradation error; with no journal it is free.
+// degradation error; with no journal it is free. This is also the
+// migration freeze chokepoint: every mutating path calls it on the
+// actor before applying, so a frozen session rejects here — durable or
+// not — and nothing mutates behind an in-flight export.
 func (ss *Session) journalAppend(rec *record) error {
+	if err := ss.migratingErr(); err != nil {
+		return err
+	}
 	if ss.jr == nil {
 		return nil
 	}

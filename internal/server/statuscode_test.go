@@ -31,6 +31,11 @@ func TestOpErrorStatusTable(t *testing.T) {
 		{"readonly", ErrSessionReadOnly, http.StatusServiceUnavailable},
 		{"readonly wrapped", fmt.Errorf("%w: journal append: disk full", ErrSessionReadOnly), http.StatusServiceUnavailable},
 		{"queue full", ErrQueueFull, http.StatusTooManyRequests},
+		{"migrating", ErrSessionMigrating, http.StatusServiceUnavailable},
+		{"migrating wrapped", fmt.Errorf("%w: frozen for handoff", ErrSessionMigrating), http.StatusServiceUnavailable},
+		{"exists", ErrSessionExists, http.StatusConflict},
+		{"exists wrapped", fmt.Errorf("open: %w", ErrSessionExists), http.StatusConflict},
+		{"plan conflict", ErrPlanConflict, http.StatusConflict},
 		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
 		{"canceled", context.Canceled, statusClientClosedRequest},
 		{"command error", errors.New("loop 99 out of range"), http.StatusUnprocessableEntity},
@@ -43,6 +48,9 @@ func TestOpErrorStatusTable(t *testing.T) {
 		}
 		if c.err == ErrQueueFull && w.Header().Get("Retry-After") == "" {
 			t.Error("429 without Retry-After")
+		}
+		if c.err == ErrSessionMigrating && w.Header().Get("Retry-After") == "" {
+			t.Error("migrating 503 without Retry-After (the freeze is transient; clients should retry)")
 		}
 	}
 }
