@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -155,6 +156,86 @@ func BenchmarkE7Incremental(b *testing.B) {
 			}
 		}
 	})
+}
+
+// editBenchSource builds one large program unit — loops copies of a
+// four-statement loop over shared arrays — so whole-unit reanalysis
+// has a realistic quadratic pair-testing bill for the patch path to
+// beat.
+func editBenchSource(loops int) string {
+	var b strings.Builder
+	n := loops*1000 + 1000
+	fmt.Fprintf(&b, "      program main\n      integer i\n      real a(%d), b(%d), c(%d), t\n", n, n, n)
+	b.WriteString("      t = 0.0\n")
+	// Each loop works a disjoint 1000-element window of the shared
+	// arrays: the pairs across loops must all be *tested* (same
+	// symbols everywhere) but are all disproven, so the whole-unit
+	// bill is quadratic pair testing over a sparse dependence graph.
+	sub := func(k int) string {
+		switch {
+		case k == 0:
+			return "i"
+		case k < 0:
+			return fmt.Sprintf("i-%d", -k)
+		default:
+			return fmt.Sprintf("i+%d", k)
+		}
+	}
+	for l := 0; l < loops; l++ {
+		k := l * 1000
+		b.WriteString("      do i = 2, 999\n")
+		fmt.Fprintf(&b, "         a(%s) = a(%s)*0.5 + b(%s)\n", sub(k), sub(k-1), sub(k))
+		fmt.Fprintf(&b, "         b(%s) = b(%s) + c(%s)\n", sub(k), sub(k-1), sub(k))
+		fmt.Fprintf(&b, "         c(%s) = c(%s) + a(%s)\n", sub(k), sub(k-1), sub(k))
+		fmt.Fprintf(&b, "         t = t + a(%s)\n", sub(k))
+		b.WriteString("      enddo\n")
+	}
+	b.WriteString("      print *, t\n      end\n")
+	return b.String()
+}
+
+// BenchmarkEditReanalyze measures what a single-statement edit costs
+// the editor: the whole-unit reanalysis baseline (WholeUnitOnly)
+// against the statement-granular patch path, for the same 1:1 edit of
+// one assignment deep inside a large unit. The "stmt" sub-benchmark
+// must come in well under the "whole-unit" one — the committed
+// BENCH_pedd.json records the ratio.
+func BenchmarkEditReanalyze(b *testing.B) {
+	src := editBenchSource(30)
+	for _, mode := range []struct {
+		name      string
+		wholeUnit bool
+		wantMode  string
+	}{
+		{"whole-unit", true, "unit"},
+		{"stmt", false, "patch"},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := core.Open("edit.f", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.WholeUnitOnly = mode.wholeUnit
+			target := s.Loops()[14].Do.Body[3]
+			id := target.ID()
+			text := fortran.StmtText(target)
+			// Warm-up edit: verify the intended path engages before
+			// timing it.
+			if err := s.EditStmt(id, "      "+text); err != nil {
+				b.Fatal(err)
+			}
+			if s.LastReanalysis.Mode != mode.wantMode {
+				b.Fatalf("edit took the %q path, want %q", s.LastReanalysis.Mode, mode.wantMode)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.EditStmt(id, "      "+text); err != nil {
+					b.Fatal(err)
+				}
+				s.SetUndoStack(nil)
+			}
+		})
+	}
 }
 
 // BenchmarkE5NoRanges is the design-choice ablation bench: the

@@ -145,7 +145,9 @@ func checkFile(path string) error {
 		"BenchmarkPlannerSearch":    false,
 		"BenchmarkServerThroughput": false,
 		"BenchmarkAnalysisCache":    false,
+		"BenchmarkEditReanalyze":    false,
 	}
+	nsPerOp := map[string]float64{}
 	for _, b := range doc.Benchmarks {
 		if b.Iterations <= 0 {
 			return fmt.Errorf("benchmark %s has no iterations", b.Name)
@@ -153,6 +155,7 @@ func checkFile(path string) error {
 		if len(b.Metrics) == 0 {
 			return fmt.Errorf("benchmark %s has no metrics", b.Name)
 		}
+		nsPerOp[b.Name] = b.Metrics["ns/op"]
 		for name := range want {
 			if strings.HasPrefix(b.Name, name) {
 				want[name] = true
@@ -163,6 +166,17 @@ func checkFile(path string) error {
 		if !seen {
 			return fmt.Errorf("%s is missing %s results — regenerate with scripts/genbench.sh", path, name)
 		}
+	}
+	// The statement-granular reanalysis path exists to make edits
+	// interactive: hold the committed numbers to the speedup the design
+	// promises over whole-unit reanalysis.
+	whole := nsPerOp["BenchmarkEditReanalyze/whole-unit"]
+	stmt := nsPerOp["BenchmarkEditReanalyze/stmt"]
+	if whole <= 0 || stmt <= 0 {
+		return fmt.Errorf("%s lacks ns/op for the BenchmarkEditReanalyze sub-benchmarks", path)
+	}
+	if ratio := whole / stmt; ratio < 5 {
+		return fmt.Errorf("%s: statement-granular reanalysis is only %.1fx faster than whole-unit (want >= 5x) — a regression in the patch path", path, ratio)
 	}
 	return nil
 }

@@ -1,0 +1,183 @@
+// Differential test for incremental reanalysis: after any sequence
+// of edits, a session's incrementally maintained analysis must be
+// indistinguishable from throwing everything away and reanalyzing the
+// saved source from scratch. Runs randomized (seeded) edit sequences
+// over the whole workload suite, once with the statement-granular
+// patch path enabled and once forced to whole-unit reanalysis.
+package parascope
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"parascope/internal/core"
+	"parascope/internal/fortran"
+	"parascope/internal/workloads"
+)
+
+// sessionDepSignature renders every dependence of every unit in a
+// sorted, order-insensitive form. Edge IDs and test statistics are
+// excluded: the patch path renumbers edges and accumulates stats
+// across edits by design.
+func sessionDepSignature(s *core.Session) []string {
+	var out []string
+	for _, u := range s.File.Units {
+		st := s.StateOf(u)
+		if st == nil || st.Deps == nil {
+			continue
+		}
+		for _, d := range st.Deps.Deps {
+			out = append(out, fmt.Sprintf("%s %s %s l%d %s %s #%d->#%d %s",
+				u.Name, d.Sym.Name, d.Class, d.Level, d.DirString(), d.Test,
+				d.Src.ID(), d.Dst.ID(), d.Mark))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sessionPerfClose compares per-unit perf estimates with a relative
+// tolerance; loop lists are compared as sorted time multisets because
+// the estimator orders loops by estimated time, which can tie.
+func sessionPerfClose(a, b *core.Session) error {
+	near := func(x, y float64) bool {
+		return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)+math.Abs(y))
+	}
+	for _, u := range a.File.Units {
+		ea := a.StateOf(u).Est
+		eb := b.StateOf(b.File.Unit(u.Name)).Est
+		if !near(ea.Total, eb.Total) {
+			return fmt.Errorf("unit %s: total %g vs %g", u.Name, ea.Total, eb.Total)
+		}
+		if len(ea.Loops) != len(eb.Loops) {
+			return fmt.Errorf("unit %s: %d vs %d loop estimates", u.Name, len(ea.Loops), len(eb.Loops))
+		}
+		ta := make([]float64, len(ea.Loops))
+		tb := make([]float64, len(eb.Loops))
+		for i := range ea.Loops {
+			ta[i], tb[i] = ea.Loops[i].SeqTime, eb.Loops[i].SeqTime
+		}
+		sort.Float64s(ta)
+		sort.Float64s(tb)
+		for i := range ta {
+			if !near(ta[i], tb[i]) {
+				return fmt.Errorf("unit %s: loop time %g vs %g", u.Name, ta[i], tb[i])
+			}
+		}
+	}
+	return nil
+}
+
+func expectMatchesScratch(t *testing.T, s *core.Session, context string) {
+	t.Helper()
+	fresh, err := core.Open(s.File.Path, s.Save())
+	if err != nil {
+		t.Fatalf("%s: saved source does not reopen: %v", context, err)
+	}
+	got, want := sessionDepSignature(s), sessionDepSignature(fresh)
+	if len(got) != len(want) {
+		t.Fatalf("%s: dependence count diverged: incremental %d, scratch %d\nincremental: %v\nscratch: %v",
+			context, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: dependence diverged:\nincremental: %s\nscratch:     %s", context, got[i], want[i])
+		}
+	}
+	if err := sessionPerfClose(s, fresh); err != nil {
+		t.Fatalf("%s: perf estimate diverged: %v", context, err)
+	}
+}
+
+// randomAssignEdit applies one randomized 1:1 edit to an assignment
+// statement of the current unit: rewrite it unchanged, replace the
+// right-hand side with the left-hand side, or grow the right-hand
+// side by adding the left-hand side to it. All three keep the program
+// well formed; growth is bounded so printed lines stay within the
+// fixed-form width.
+func randomAssignEdit(t *testing.T, r *rand.Rand, s *core.Session) string {
+	t.Helper()
+	var cands []fortran.Stmt
+	fortran.WalkStmts(s.CurrentUnit().Body, func(st fortran.Stmt) bool {
+		if _, ok := st.(*fortran.AssignStmt); ok {
+			cands = append(cands, st)
+		}
+		return true
+	})
+	if len(cands) == 0 {
+		return ""
+	}
+	st := cands[r.Intn(len(cands))]
+	text := fortran.StmtText(st)
+	i := strings.Index(text, " = ")
+	if i < 0 {
+		return ""
+	}
+	lhs, rhs := text[:i], text[i+3:]
+	var newText string
+	switch r.Intn(3) {
+	case 0:
+		newText = text
+	case 1:
+		newText = lhs + " = " + lhs
+	default:
+		if len(text) > 50 {
+			newText = text
+		} else {
+			newText = lhs + " = " + rhs + " + " + lhs
+		}
+	}
+	if err := s.EditStmt(st.ID(), "      "+newText); err != nil {
+		t.Fatalf("edit %q: %v", newText, err)
+	}
+	return newText
+}
+
+// TestIncrementalMatchesScratch is the differential gate on the
+// incremental reanalysis path: for every workload, run a seeded
+// random edit sequence and after every single edit require the
+// session to match a from-scratch analysis of its saved source —
+// with the patch fast path enabled, and again forced to whole-unit
+// reanalysis.
+func TestIncrementalMatchesScratch(t *testing.T) {
+	const editsPerWorkload = 10
+	for _, mode := range []struct {
+		name      string
+		wholeUnit bool
+	}{
+		{"patch", false},
+		{"whole-unit", true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			patched := 0
+			for _, w := range workloads.All() {
+				r := rand.New(rand.NewSource(int64(len(w.Name)) * 7919))
+				s, err := w.Session()
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name, err)
+				}
+				s.WholeUnitOnly = mode.wholeUnit
+				for e := 0; e < editsPerWorkload; e++ {
+					text := randomAssignEdit(t, r, s)
+					if text == "" {
+						break
+					}
+					if s.LastReanalysis.Mode == "patch" {
+						patched++
+					}
+					expectMatchesScratch(t, s, fmt.Sprintf("%s edit %d (%s)", w.Name, e, text))
+				}
+			}
+			if mode.wholeUnit && patched > 0 {
+				t.Errorf("WholeUnitOnly sessions took the patch path %d times", patched)
+			}
+			if !mode.wholeUnit && patched == 0 {
+				t.Error("patch-enabled run never exercised the statement-granular path")
+			}
+		})
+	}
+}

@@ -393,6 +393,11 @@ type LoopTree struct {
 	All   []*Loop
 
 	byDo map[*fortran.DoStmt]*Loop
+	// inner maps every statement of the unit to its innermost
+	// enclosing loop (nil outside any loop). Built eagerly so lookups
+	// are read-only: the dependence analyzer queries it from
+	// concurrent worker goroutines.
+	inner map[fortran.Stmt]*Loop
 }
 
 // LoopOf returns the Loop wrapper for a DO statement, or nil.
@@ -400,6 +405,12 @@ func (t *LoopTree) LoopOf(do *fortran.DoStmt) *Loop { return t.byDo[do] }
 
 // Innermost returns the innermost loop containing statement s, or nil.
 func (t *LoopTree) Innermost(s fortran.Stmt) *Loop {
+	if l, ok := t.inner[s]; ok {
+		return l
+	}
+	// Statement spliced into the unit after the tree was built and not
+	// re-indexed (see Reindex). Fall back to searching; do not cache —
+	// concurrent readers share the map.
 	var best *Loop
 	for _, l := range t.All {
 		if l.Do == s {
@@ -411,6 +422,16 @@ func (t *LoopTree) Innermost(s fortran.Stmt) *Loop {
 		}
 	}
 	return best
+}
+
+// Reindex records that statement new replaced old 1:1 in the unit
+// body, so new inherits old's position in the innermost-loop index.
+// Callers must not invoke it concurrently with lookups.
+func (t *LoopTree) Reindex(old, new fortran.Stmt) {
+	if l, ok := t.inner[old]; ok {
+		delete(t.inner, old)
+		t.inner[new] = l
+	}
 }
 
 // BuildLoopTree constructs the loop forest for u.
@@ -439,5 +460,17 @@ func BuildLoopTree(u *fortran.Unit) *LoopTree {
 		}
 	}
 	walk(u.Body, nil, 1)
+	t.inner = make(map[fortran.Stmt]*Loop)
+	fortran.WalkStmts(u.Body, func(s fortran.Stmt) bool {
+		t.inner[s] = nil
+		return true
+	})
+	// Parents precede children in All, so deeper loops overwrite.
+	for _, l := range t.All {
+		fortran.WalkStmts(l.Do.Body, func(s fortran.Stmt) bool {
+			t.inner[s] = l
+			return true
+		})
+	}
 	return t
 }

@@ -22,9 +22,11 @@ import (
 
 // PhaseObserver receives the wall time of each analysis phase. The
 // phases reported are "parse", "interproc", "dataflow", "dependence",
-// and "perf"; the per-unit phases fan out on the analysis worker
-// pool, so implementations must be safe for concurrent use. A nil
-// observer costs a single pointer check per phase.
+// "perf", and "patch" (the statement-granular reanalysis fast path,
+// reported as one phase since it splices all three analyses at once);
+// the per-unit phases fan out on the analysis worker pool, so
+// implementations must be safe for concurrent use. A nil observer
+// costs a single pointer check per phase.
 type PhaseObserver interface {
 	ObservePhase(phase string, d time.Duration)
 }
@@ -41,9 +43,16 @@ func (s *Session) analyzeUnits(units []*fortran.Unit, old map[*fortran.Unit]*Uni
 	if workers > len(units) {
 		workers = len(units)
 	}
+	// When whole units fan out across the pool, dependence testing
+	// stays serial inside each unit; with a single unit in hand the
+	// parallelism budget moves down into subscript-test sharding.
+	depWorkers := 1
+	if len(units) == 1 {
+		depWorkers = s.depWorkerCount()
+	}
 	if workers <= 1 {
 		for _, u := range units {
-			out[u] = s.analyzeUnit(u, old[u])
+			out[u] = s.analyzeUnit(u, old[u], depWorkers)
 		}
 		return out
 	}
@@ -73,7 +82,7 @@ func (s *Session) analyzeUnits(units []*fortran.Unit, old map[*fortran.Unit]*Uni
 							panicMu.Unlock()
 						}
 					}()
-					results[i] = s.analyzeUnit(units[i], old[units[i]])
+					results[i] = s.analyzeUnit(units[i], old[units[i]], depWorkers)
 				}(i)
 			}
 		}()
@@ -91,6 +100,16 @@ func (s *Session) analyzeUnits(units []*fortran.Unit, old map[*fortran.Unit]*Uni
 		out[u] = results[i]
 	}
 	return out
+}
+
+// depWorkerCount bounds subscript-test sharding when a single unit is
+// analyzed on its own (the incremental path): the same Workers budget
+// that fans units out during AnalyzeAll.
+func (s *Session) depWorkerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // unitPanic carries a panic out of an analysis worker goroutine so it

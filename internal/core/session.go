@@ -8,6 +8,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,17 +63,22 @@ type Assertion struct {
 func (a Assertion) String() string { return fmt.Sprintf("%s %s %d", a.Var, a.Rel, a.Val) }
 
 // depKey identifies a dependence stably across reanalysis so user
-// markings survive.
+// markings survive. Endpoints are identified by the statements'
+// edit-stable UIDs — assigned once and never reused — rather than line
+// numbers: lines shift when statements above the marked loop are
+// edited or deleted, which used to silently drop surviving marks and,
+// worse, could attach a stale mark to a different dependence that
+// landed on the old line numbers.
 type depKey struct {
-	sym     string
-	srcLine int
-	dstLine int
-	class   dep.Class
-	level   int
+	sym    string
+	srcUID int
+	dstUID int
+	class  dep.Class
+	level  int
 }
 
 func keyOf(d *dep.Dependence) depKey {
-	return depKey{sym: d.Sym.Name, srcLine: d.Src.Line(), dstLine: d.Dst.Line(),
+	return depKey{sym: d.Sym.Name, srcUID: d.Src.UID(), dstUID: d.Dst.UID(),
 		class: d.Class, level: d.Level}
 }
 
@@ -85,6 +92,15 @@ type UnitState struct {
 	marks      map[depKey]dep.Mark
 	assertions []Assertion
 	classes    map[string]VarClass // user overrides by name
+
+	// srcHash fingerprints the unit's printed source at last analysis;
+	// callSig its call surface (every call statement and user function
+	// invocation, with actuals). Both drive ReanalyzeUnit's escalation
+	// decision: an unchanged hash means nothing interprocedural can
+	// have moved, an unchanged call signature means no other unit's
+	// constant formals or call graph entry can have moved.
+	srcHash string
+	callSig string
 }
 
 // Session is one open ParaScope Editor.
@@ -109,6 +125,14 @@ type Session struct {
 	// selected is the currently selected loop (its DO statement).
 	selected *fortran.DoStmt
 
+	// WholeUnitOnly disables the statement-granular patching fast path
+	// after 1:1 edits, forcing at least whole-unit reanalysis — the
+	// benchmark baseline and the differential-test reference.
+	WholeUnitOnly bool
+	// LastReanalysis describes the most recent (re)analysis: which
+	// path ran and its wall time. REPL and server surfaces report it.
+	LastReanalysis Reanalysis
+
 	est *perf.Estimator
 	// History logs user-level actions for the session transcript.
 	History []string
@@ -127,6 +151,15 @@ type Session struct {
 // has been applied since the session opened. Selection and navigation
 // do not count.
 func (s *Session) Mutated() bool { return s.mutated }
+
+// Reanalysis describes one (re)analysis pass: Mode is "patch"
+// (statement-granular), "unit" (one unit against reused
+// interprocedural facts), "program" (escalated interprocedural
+// update), or "full" (from-scratch whole-program analysis).
+type Reanalysis struct {
+	Mode     string
+	Duration time.Duration
+}
 
 // SessionStats counts user interactions, matching the actions the
 // paper's evaluation reports (deleted dependences, assertions,
@@ -177,6 +210,7 @@ func newSession(f *fortran.File, workers int, obs PhaseObserver) *Session {
 // Workers): units are independent once the interprocedural summaries
 // exist, so they are analyzed concurrently.
 func (s *Session) AnalyzeAll() {
+	start := time.Now()
 	s.File.RenumberStmts()
 	var t0 time.Time
 	if s.obs != nil {
@@ -193,17 +227,185 @@ func (s *Session) AnalyzeAll() {
 		s.est.UnitCost(u)
 	}
 	s.units = s.analyzeUnits(s.File.Units, s.units)
+	s.LastReanalysis = Reanalysis{Mode: "full", Duration: time.Since(start)}
 }
 
-// ReanalyzeUnit refreshes only one unit — the editor's incremental
-// path after a local edit (interprocedural facts are reused, not
-// recomputed).
+// ReanalyzeUnit refreshes analysis after a mutation of unit u — the
+// editor's incremental path. Interprocedural facts are reused only
+// when that is sound: if the edit changed the unit's call surface
+// (calls added, removed or retargeted, actuals changed) or its
+// caller-visible summary, other units' dependence graphs depend on the
+// change, so the interprocedural facts are rebuilt and every unit
+// whose analysis inputs moved is reanalyzed too. The perf cost memo
+// for u and its transitive callers (whose memoized costs embed u's) is
+// always invalidated, and caller estimates are refreshed.
 func (s *Session) ReanalyzeUnit(u *fortran.Unit) {
+	start := time.Now()
 	s.File.RenumberStmts()
-	s.units[u] = s.analyzeUnit(u, s.units[u])
+	mode := s.reanalyzeUnit(u)
+	s.LastReanalysis = Reanalysis{Mode: mode, Duration: time.Since(start)}
 }
 
-func (s *Session) analyzeUnit(u *fortran.Unit, prev *UnitState) *UnitState {
+func (s *Session) reanalyzeUnit(u *fortran.Unit) string {
+	st := s.units[u]
+	if st == nil || s.Prog == nil {
+		s.AnalyzeAll()
+		return "full"
+	}
+	hash := unitHash(u)
+	if hash == st.srcHash {
+		// The AST is unchanged (assertion or option tweak): summaries
+		// and costs cannot have moved; reanalyze just this unit.
+		s.units[u] = s.analyzeUnit(u, st, s.depWorkerCount())
+		return "unit"
+	}
+	if !s.Conservative {
+		if callSurfaceSig(u) != st.callSig {
+			s.reanalyzeProgram(u)
+			return "program"
+		}
+		if len(s.Prog.Graph.Callers[u]) > 0 &&
+			!s.Prog.Resummarize(u).Equal(s.Prog.Summaries[u]) {
+			s.reanalyzeProgram(u)
+			return "program"
+		}
+	}
+	s.invalidateCosts(u)
+	s.units[u] = s.analyzeUnit(u, st, s.depWorkerCount())
+	s.refreshCallerEstimates(u)
+	return "unit"
+}
+
+// reanalyzeProgram rebuilds the interprocedural facts after an edit to
+// `edited` changed its call surface or caller-visible summary, then
+// reanalyzes only the units whose analysis inputs actually moved.
+// Everything else keeps its unit state — graphs, marks, assertions —
+// and just refreshes its perf estimate against the rebuilt cost memo.
+func (s *Session) reanalyzeProgram(edited *fortran.Unit) {
+	oldProg := s.Prog
+	s.Prog = interproc.UpdateProgram(oldProg, map[*fortran.Unit]bool{edited: true})
+	s.est = perf.New(s.File, perf.DefaultParams())
+	for _, u := range s.File.Units {
+		s.est.UnitCost(u)
+	}
+	var stale []*fortran.Unit
+	for _, v := range s.File.Units {
+		if v != edited && s.units[v] != nil && s.unitInputsUnchanged(v, oldProg) {
+			continue
+		}
+		stale = append(stale, v)
+	}
+	fresh := s.analyzeUnits(stale, s.units)
+	for v, st := range fresh {
+		s.units[v] = st
+	}
+	for _, v := range s.File.Units {
+		if st := s.units[v]; st != nil && fresh[v] == nil && st.DF != nil {
+			st.Est = s.est.EstimateUnit(st.DF)
+		}
+	}
+}
+
+// unitInputsUnchanged reports whether v's analysis inputs survived an
+// interprocedural update: same recursion status, same callee summary
+// objects (UpdateProgram carries the pointer when the recomputed
+// summary is Equal), same propagated constant formals.
+func (s *Session) unitInputsUnchanged(v *fortran.Unit, oldProg *interproc.Program) bool {
+	if s.Conservative {
+		return true // per-unit analysis never consults the program
+	}
+	if s.Prog.Graph.Recursive[v] != oldProg.Graph.Recursive[v] {
+		return false
+	}
+	if !interproc.ConstFormalsEqual(s.Prog, oldProg, v) {
+		return false
+	}
+	for _, site := range s.Prog.Graph.Calls[v] {
+		if s.Prog.Summaries[site.Callee] != oldProg.Summaries[site.Callee] {
+			return false
+		}
+	}
+	return true
+}
+
+// invalidateCosts drops memoized per-call costs for u and every unit
+// whose cost transitively embeds it.
+func (s *Session) invalidateCosts(u *fortran.Unit) {
+	for v := range s.transitiveCallers(u) {
+		s.est.Invalidate(v)
+	}
+}
+
+// transitiveCallers returns u plus every unit that can reach it
+// through calls.
+func (s *Session) transitiveCallers(u *fortran.Unit) map[*fortran.Unit]bool {
+	out := map[*fortran.Unit]bool{u: true}
+	if s.Prog == nil {
+		return out
+	}
+	queue := []*fortran.Unit{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, site := range s.Prog.Graph.Callers[v] {
+			if !out[site.Caller] {
+				out[site.Caller] = true
+				queue = append(queue, site.Caller)
+			}
+		}
+	}
+	return out
+}
+
+// refreshCallerEstimates recomputes the perf estimates of every unit
+// whose cost embeds u's: their dependence graphs don't consult u, but
+// their time estimates price its call sites.
+func (s *Session) refreshCallerEstimates(u *fortran.Unit) {
+	for v := range s.transitiveCallers(u) {
+		if v == u {
+			continue
+		}
+		if st := s.units[v]; st != nil && st.DF != nil {
+			st.Est = s.est.EstimateUnit(st.DF)
+		}
+	}
+}
+
+// unitHash fingerprints a unit's current source text.
+func unitHash(u *fortran.Unit) string {
+	var b strings.Builder
+	fortran.PrintUnit(&b, u)
+	h := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(h[:])
+}
+
+// callSurfaceSig fingerprints the unit's call surface: the full text
+// of every statement that is a CALL or contains a resolved function
+// invocation, in walk order. Edits that leave it unchanged cannot move
+// the call graph or any other unit's constant formals.
+func callSurfaceSig(u *fortran.Unit) string {
+	var b strings.Builder
+	fortran.WalkStmts(u.Body, func(st fortran.Stmt) bool {
+		isCall := false
+		if _, ok := st.(*fortran.CallStmt); ok {
+			isCall = true
+		} else {
+			fortran.WalkExprs(st, func(e fortran.Expr) {
+				if fc, ok := e.(*fortran.FuncCall); ok && fc.Callee != nil {
+					isCall = true
+				}
+			})
+		}
+		if isCall {
+			b.WriteString(fortran.StmtText(st))
+			b.WriteByte('\n')
+		}
+		return true
+	})
+	return b.String()
+}
+
+func (s *Session) analyzeUnit(u *fortran.Unit, prev *UnitState, depWorkers int) *UnitState {
 	if err := faultpoint.Hit(faultpoint.Analyze, s.File.Path+":"+u.Name); err != nil {
 		// Analysis has no error channel; an injected error surfaces
 		// as a panic for the session-level recovery boundary.
@@ -214,6 +416,21 @@ func (s *Session) analyzeUnit(u *fortran.Unit, prev *UnitState) *UnitState {
 		st.marks = prev.marks
 		st.assertions = prev.assertions
 		st.classes = prev.classes
+	}
+	// Prune marks whose statements no longer exist. UIDs are never
+	// reused, so a stale mark cannot attach to a different dependence;
+	// pruning just keeps the map from growing across edits.
+	if len(st.marks) > 0 {
+		live := map[int]bool{}
+		fortran.WalkStmts(u.Body, func(x fortran.Stmt) bool {
+			live[x.UID()] = true
+			return true
+		})
+		for k := range st.marks {
+			if !live[k.srcUID] || !live[k.dstUID] {
+				delete(st.marks, k)
+			}
+		}
 	}
 	var eff dataflow.SideEffects
 	var summ dep.Summaries
@@ -241,7 +458,7 @@ func (s *Session) analyzeUnit(u *fortran.Unit, prev *UnitState) *UnitState {
 		s.obs.ObservePhase("dataflow", time.Since(t0))
 		t0 = time.Now()
 	}
-	st.Deps = dep.Analyze(st.DF, env, summ, s.Opts)
+	st.Deps = dep.AnalyzeN(st.DF, env, summ, s.Opts, depWorkers)
 	if s.obs != nil {
 		s.obs.ObservePhase("dependence", time.Since(t0))
 	}
@@ -258,6 +475,8 @@ func (s *Session) analyzeUnit(u *fortran.Unit, prev *UnitState) *UnitState {
 	if s.obs != nil {
 		s.obs.ObservePhase("perf", time.Since(t0))
 	}
+	st.srcHash = unitHash(u)
+	st.callSig = callSurfaceSig(u)
 	return st
 }
 
@@ -730,8 +949,95 @@ func (s *Session) EditStmt(id int, text string) error {
 	s.Stats.Edits++
 	s.mutated = true
 	s.log("edit stmt %d: %s", id, strings.TrimSpace(text))
-	s.ReanalyzeUnit(s.current)
+	if !s.tryPatchEdit(old, ns) {
+		s.ReanalyzeUnit(s.current)
+	}
 	return nil
+}
+
+// tryPatchEdit attempts the statement-granular fast path after old was
+// replaced 1:1 by ns in the current unit: splice the new statement
+// into the existing dataflow solution and patch the dependence graph —
+// only edges incident to the edited statement are killed and retested
+// — instead of reanalyzing the whole unit. Reports false, with no
+// analysis state modified, when the edit falls outside the patchable
+// envelope; the caller then runs the normal escalation-aware path.
+//
+// The envelope, beyond what dataflow.PatchStmt itself enforces: same
+// statement label (labels are control-flow targets), and — when the
+// unit has callers — no reference to a caller-visible symbol on either
+// side, since those could move the unit's summary out from under its
+// callers. Calls are excluded by SimpleStmt, so the call surface, the
+// constant formals and the unit's own per-call cost *shape* are
+// unchanged; the cost value may still move, so the cost memo is
+// invalidated and caller estimates refresh.
+func (s *Session) tryPatchEdit(old, ns fortran.Stmt) bool {
+	if s.WholeUnitOnly {
+		return false
+	}
+	u := s.current
+	st := s.units[u]
+	if st == nil || st.DF == nil || st.Deps == nil || s.Prog == nil {
+		return false
+	}
+	if fortran.StmtLabel(old) != fortran.StmtLabel(ns) {
+		return false
+	}
+	if !dataflow.SimpleStmt(old) || !dataflow.SimpleStmt(ns) {
+		return false
+	}
+	if len(s.Prog.Graph.Callers[u]) > 0 && (touchesVisible(u, old) || touchesVisible(u, ns)) {
+		return false
+	}
+	start := time.Now()
+	s.File.RenumberStmts()
+	if err := faultpoint.Hit(faultpoint.Analyze, s.File.Path+":"+u.Name); err != nil {
+		panic(err)
+	}
+	if !st.DF.PatchStmt(old, ns) {
+		return false
+	}
+	// Committed: the dataflow solution now describes ns.
+	var summ dep.Summaries
+	env := s.assertionEnv(u, st.assertions)
+	if !s.Conservative {
+		summ = &interproc.SectionProvider{Prog: s.Prog}
+		if ce := s.Prog.ConstEnv(u); ce != nil {
+			if env == nil {
+				env = expr.NewEnv()
+			}
+			for _, sym := range ce.Symbols() {
+				env.SetRange(sym, ce.RangeOf(sym))
+			}
+		}
+	}
+	st.Deps = dep.Patch(st.Deps, st.DF, env, summ, s.Opts, old, ns)
+	for _, d := range st.Deps.Deps {
+		if m, ok := st.marks[keyOf(d)]; ok {
+			d.Mark = m
+		}
+	}
+	s.invalidateCosts(u)
+	st.Est = s.est.EstimateUnit(st.DF)
+	s.refreshCallerEstimates(u)
+	st.srcHash = unitHash(u)
+	d := time.Since(start)
+	if s.obs != nil {
+		s.obs.ObservePhase("patch", d)
+	}
+	s.LastReanalysis = Reanalysis{Mode: "patch", Duration: d}
+	return true
+}
+
+// touchesVisible reports whether the statement accesses any symbol a
+// caller can see (a dummy argument or COMMON member).
+func touchesVisible(u *fortran.Unit, st fortran.Stmt) bool {
+	for _, ac := range dataflow.StmtAccesses(u, st, dataflow.ConservativeEffects{}) {
+		if ac.Sym.Dummy || ac.Sym.Common != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // DeleteStmt removes a statement.
@@ -826,8 +1132,9 @@ func (s *Session) pushUndo() {
 }
 
 // Undo restores the program to its state before the last
-// transformation or edit. Analysis state is rebuilt; user marks keyed
-// by line numbers survive where lines still match.
+// transformation or edit. Analysis state is rebuilt from scratch; user
+// marks do not survive (the reparse issues fresh statement
+// identities).
 func (s *Session) Undo() error {
 	if len(s.undoStack) == 0 {
 		return fmt.Errorf("nothing to undo")

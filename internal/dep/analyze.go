@@ -1,6 +1,8 @@
 package dep
 
 import (
+	"sync"
+
 	"parascope/internal/cfg"
 	"parascope/internal/dataflow"
 	"parascope/internal/expr"
@@ -71,11 +73,22 @@ type Analyzer struct {
 
 // Analyze computes the dependence graph of df's unit.
 func Analyze(df *dataflow.Analysis, assertions *expr.Env, summ Summaries, opts Options) *Graph {
-	a := &Analyzer{DF: df, Assertions: assertions, Summ: summ, Opts: opts}
-	return a.run()
+	return AnalyzeN(df, assertions, summ, opts, 1)
 }
 
-func (a *Analyzer) run() *Graph {
+// AnalyzeN is Analyze with subscript testing sharded by symbol across
+// up to workers goroutines. The result is identical to the serial run:
+// each symbol's reference pairs test into a private shard graph (the
+// analyzer itself is only read — environments are built fresh per
+// pair) and shards merge back in first-appearance symbol order before
+// IDs are assigned. Worthwhile only when the caller is not already
+// running units in parallel.
+func AnalyzeN(df *dataflow.Analysis, assertions *expr.Env, summ Summaries, opts Options, workers int) *Graph {
+	a := &Analyzer{DF: df, Assertions: assertions, Summ: summ, Opts: opts}
+	return a.run(workers)
+}
+
+func (a *Analyzer) run(workers int) *Graph {
 	g := &Graph{Unit: a.DF.Unit, Stats: newStats(), byLoop: map[*cfg.Loop][]*Dependence{}}
 	refs := a.collectRefs()
 	bySym := map[*fortran.Symbol][]*ref{}
@@ -86,30 +99,85 @@ func (a *Analyzer) run() *Graph {
 		}
 		bySym[r.acc.Sym] = append(bySym[r.acc.Sym], r)
 	}
-	for _, sym := range symOrder {
-		list := bySym[sym]
-		for i := 0; i < len(list); i++ {
-			for j := i; j < len(list); j++ {
-				r1, r2 := list[i], list[j]
-				if !r1.acc.Write && !r2.acc.Write && !a.Opts.InputDeps {
-					continue
-				}
-				if i == j && !r1.acc.Write {
-					continue
-				}
-				a.testRefPair(g, sym, r1, r2)
-			}
+	if workers > len(symOrder) {
+		workers = len(symOrder)
+	}
+	if workers > 1 {
+		a.runSharded(g, symOrder, bySym, workers)
+	} else {
+		for _, sym := range symOrder {
+			a.testSym(g, sym, bySym[sym])
 		}
 	}
 	a.addControlDeps(g)
-	// Assign IDs and index by loop.
+	a.finalize(g)
+	return g
+}
+
+// runSharded fans symbols out over workers goroutines, one shard graph
+// per symbol, and merges deterministically.
+func (a *Analyzer) runSharded(g *Graph, symOrder []*fortran.Symbol, bySym map[*fortran.Symbol][]*ref, workers int) {
+	shards := make([]*Graph, len(symOrder))
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			for si := w; si < len(symOrder); si += workers {
+				sg := &Graph{Unit: a.DF.Unit, Stats: newStats()}
+				a.testSym(sg, symOrder[si], bySym[symOrder[si]])
+				shards[si] = sg
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			// Re-raise on the caller's goroutine so the session's
+			// usual panic isolation applies.
+			panic(p)
+		}
+	}
+	for _, sg := range shards {
+		if sg == nil {
+			continue
+		}
+		g.Deps = append(g.Deps, sg.Deps...)
+		g.Stats.mergeFrom(&sg.Stats)
+	}
+}
+
+// testSym tests every reference pair of one symbol, in collection
+// order, applying the standard skip rules.
+func (a *Analyzer) testSym(g *Graph, sym *fortran.Symbol, list []*ref) {
+	for i := 0; i < len(list); i++ {
+		for j := i; j < len(list); j++ {
+			r1, r2 := list[i], list[j]
+			if !r1.acc.Write && !r2.acc.Write && !a.Opts.InputDeps {
+				continue
+			}
+			if i == j && !r1.acc.Write {
+				continue
+			}
+			a.testRefPair(g, sym, r1, r2)
+		}
+	}
+}
+
+// finalize assigns dependence IDs and builds the per-loop index.
+func (a *Analyzer) finalize(g *Graph) {
 	for i, d := range g.Deps {
 		d.ID = i + 1
 		for _, l := range commonNest(a.DF.Tree, d.Src, d.Dst) {
 			g.byLoop[l] = append(g.byLoop[l], d)
 		}
 	}
-	return g
 }
 
 // collectRefs gathers every variable access in the unit, attaching

@@ -188,6 +188,25 @@ func newStats() Stats {
 	return Stats{Applied: map[string]int{}, Disproved: map[string]int{}, Proven: map[string]int{}}
 }
 
+func (s *Stats) mergeFrom(o *Stats) {
+	s.PairsTested += o.PairsTested
+	for k, v := range o.Applied {
+		s.Applied[k] += v
+	}
+	for k, v := range o.Disproved {
+		s.Disproved[k] += v
+	}
+	for k, v := range o.Proven {
+		s.Proven[k] += v
+	}
+}
+
+func (s *Stats) clone() Stats {
+	c := newStats()
+	c.mergeFrom(s)
+	return c
+}
+
 func (s *Stats) merge(name string, outcome testOutcome) {
 	s.Applied[name]++
 	switch outcome {

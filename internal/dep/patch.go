@@ -1,0 +1,83 @@
+package dep
+
+import (
+	"parascope/internal/cfg"
+	"parascope/internal/dataflow"
+	"parascope/internal/expr"
+	"parascope/internal/fortran"
+)
+
+// Patch returns the dependence graph for df's unit after statement old
+// was replaced 1:1 by new: every edge of prev not incident to the
+// edited statement is reused, and only the reference pairs involving
+// the new statement are retested. df must already describe the new
+// statement (dataflow.PatchStmt) — in particular its CFG and loop tree
+// are the same objects prev's edges point into, so reused Loop
+// pointers stay valid. Control-dependence edges ending at the edited
+// statement are rewritten in place rather than recomputed: a simple
+// statement is never a branch source, and the CFG shape is unchanged.
+//
+// IDs are reassigned densely (reused edges first, in their previous
+// relative order, then the fresh ones), so the numbering differs from
+// a from-scratch run even though the edge set is identical. Stats
+// accumulate onto prev's counts: they describe the work done across
+// the session's edits, not a single run.
+func Patch(prev *Graph, df *dataflow.Analysis, assertions *expr.Env, summ Summaries, opts Options, old, new fortran.Stmt) *Graph {
+	a := &Analyzer{DF: df, Assertions: assertions, Summ: summ, Opts: opts}
+	g := &Graph{Unit: df.Unit, Stats: prev.Stats.clone(), byLoop: map[*cfg.Loop][]*Dependence{}}
+	for _, d := range prev.Deps {
+		if d.Class == ClassControl {
+			if d.Src == old {
+				d.Src = new
+			}
+			if d.Dst == old {
+				d.Dst = new
+			}
+			g.Deps = append(g.Deps, d)
+			continue
+		}
+		if d.Src == old || d.Dst == old {
+			continue
+		}
+		g.Deps = append(g.Deps, d)
+	}
+	// Retest pairs involving the edited statement with the same
+	// collection order and skip rules as the full run, so the emitted
+	// edges (direction vectors, loop-independent orientation) match.
+	refs := a.collectRefs()
+	bySym := map[*fortran.Symbol][]*ref{}
+	newSyms := map[*fortran.Symbol]bool{}
+	var symOrder []*fortran.Symbol
+	for _, r := range refs {
+		if _, ok := bySym[r.acc.Sym]; !ok {
+			symOrder = append(symOrder, r.acc.Sym)
+		}
+		bySym[r.acc.Sym] = append(bySym[r.acc.Sym], r)
+		if r.stmt == new {
+			newSyms[r.acc.Sym] = true
+		}
+	}
+	for _, sym := range symOrder {
+		if !newSyms[sym] {
+			continue
+		}
+		list := bySym[sym]
+		for i := 0; i < len(list); i++ {
+			for j := i; j < len(list); j++ {
+				r1, r2 := list[i], list[j]
+				if r1.stmt != new && r2.stmt != new {
+					continue
+				}
+				if !r1.acc.Write && !r2.acc.Write && !a.Opts.InputDeps {
+					continue
+				}
+				if i == j && !r1.acc.Write {
+					continue
+				}
+				a.testRefPair(g, sym, r1, r2)
+			}
+		}
+	}
+	a.finalize(g)
+	return g
+}

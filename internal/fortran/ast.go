@@ -151,8 +151,9 @@ type File struct {
 	Units    []*Unit
 	Comments []Comment
 
-	nextID int
-	byID   map[int]Stmt
+	nextID  int
+	nextUID int
+	byID    map[int]Stmt
 }
 
 // Unit returns the unit with the given (lower-case) name, or nil.
@@ -186,6 +187,11 @@ type Stmt interface {
 	base() *StmtBase
 	// ID returns the statement's stable identity used by analyses.
 	ID() int
+	// UID returns the statement's edit-stable identity: assigned once
+	// when the statement first enters the file and never reused, so it
+	// survives RenumberStmts after edits (unlike ID, which is a dense
+	// positional index rewritten on every renumber).
+	UID() int
 	// Line returns the statement's source line.
 	Line() int
 }
@@ -193,6 +199,7 @@ type Stmt interface {
 // StmtBase carries identity and position shared by all statements.
 type StmtBase struct {
 	SID   int
+	SUID  int
 	Label int
 	LineN int
 }
@@ -201,6 +208,10 @@ func (b *StmtBase) base() *StmtBase { return b }
 
 // ID returns the statement's stable identity.
 func (b *StmtBase) ID() int { return b.SID }
+
+// UID returns the statement's edit-stable identity (0 until the
+// statement has been through RenumberStmts).
+func (b *StmtBase) UID() int { return b.SUID }
 
 // Line returns the statement's source line.
 func (b *StmtBase) Line() int { return b.LineN }
@@ -594,8 +605,16 @@ func CloneExpr(e Expr) Expr {
 }
 
 // CloneStmt returns a deep copy of s (fresh statement identities are
-// assigned by the next RenumberStmts).
+// assigned by the next RenumberStmts). The clone's UID is cleared: a
+// copy is a new statement, not the original, so it must not inherit
+// the edit-stable identity user markings are keyed by.
 func CloneStmt(s Stmt) Stmt {
+	c := cloneStmt(s)
+	c.base().SUID = 0
+	return c
+}
+
+func cloneStmt(s Stmt) Stmt {
 	switch st := s.(type) {
 	case *AssignStmt:
 		c := *st
@@ -750,15 +769,27 @@ func StmtLabel(s Stmt) int { return s.base().Label }
 
 // RenumberStmts (re)assigns statement IDs across the whole file and
 // rebuilds the ID index. Called after parsing and after any structural
-// edit or transformation.
+// edit or transformation. Statements that are new to the file (UID 0)
+// are also issued a fresh edit-stable UID here; existing UIDs are
+// never rewritten or reused, so they identify a statement across
+// renumbers.
 func (f *File) RenumberStmts() {
 	f.nextID = 1
 	f.byID = make(map[int]Stmt)
 	for _, u := range f.Units {
 		WalkStmts(u.Body, func(s Stmt) bool {
-			s.base().SID = f.nextID
+			b := s.base()
+			b.SID = f.nextID
 			f.byID[f.nextID] = s
 			f.nextID++
+			if b.SUID == 0 {
+				f.nextUID++
+				b.SUID = f.nextUID
+			} else if b.SUID > f.nextUID {
+				// Statement carried in from elsewhere: advance the
+				// counter so its UID is never reissued.
+				f.nextUID = b.SUID
+			}
 			return true
 		})
 	}

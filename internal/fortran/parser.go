@@ -37,6 +37,18 @@ func ParseStmtIn(f *File, u *Unit, text string) (Stmt, error) {
 		return nil, err
 	}
 	if len(stmts) == 0 {
+		// Interactive edits arrive at column 1, where fixed-form
+		// lexing reads 'c' / 'C' / '*' / '!' as a full-line comment —
+		// so "call sweep(q, k)" lexes to nothing. When the whole text
+		// vanished, retry with each such line shifted out of column 1;
+		// comment-only text still has no statement either way.
+		lx, _ = NewLexer(padColumnOne(text))
+		stmts, errs = lx.Statements()
+		if err := errs.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if len(stmts) == 0 {
 		return nil, &Error{Msg: "empty statement"}
 	}
 	p := &parser{stmts: stmts, dirs: lx.Directives()}
@@ -61,6 +73,27 @@ func ParseStmtIn(f *File, u *Unit, text string) (Stmt, error) {
 		return nil, err
 	}
 	return body[0], nil
+}
+
+// padColumnOne shifts lines whose first character would make the
+// fixed-form lexer treat them as full-line comments ('c', 'C', '*',
+// '!') one column right, so statement keywords like CALL and CONTINUE
+// typed at column 1 still lex. Parallel directives (c$par ...) keep
+// their column-1 spelling — moved, they would stop being directives.
+func padColumnOne(text string) string {
+	lines := strings.Split(text, "\n")
+	for i, ln := range lines {
+		if ln == "" {
+			continue
+		}
+		switch ln[0] {
+		case 'c', 'C', '*', '!':
+			if _, ok := parDirective(ln); !ok {
+				lines[i] = " " + ln
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
 }
 
 // MustParse parses src and panics on error; intended for tests and

@@ -244,6 +244,14 @@ func (e *Estimator) UnitCost(u *fortran.Unit) float64 {
 	return c
 }
 
+// Invalidate drops the memoized per-call cost for u so the next
+// UnitCost recomputes it from the current AST. Callers editing a unit
+// must invalidate it (and its transitive callers, whose memoized costs
+// embed u's) or call-site costs go stale.
+func (e *Estimator) Invalidate(u *fortran.Unit) {
+	delete(e.unitCost, u)
+}
+
 func (e *Estimator) exprCost(x fortran.Expr) float64 {
 	p := e.Params
 	switch v := x.(type) {

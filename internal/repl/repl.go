@@ -197,13 +197,19 @@ func (r *REPL) Execute(line string) error {
 		if err != nil {
 			return fmt.Errorf("bad statement id %q", args[0])
 		}
-		return s.EditStmt(id, strings.Join(args[1:], " "))
+		if err := s.EditStmt(id, strings.Join(args[1:], " ")); err != nil {
+			return err
+		}
+		r.printReanalysis(s)
 	case "delete":
 		id, err := r.argInt(args, 0, "statement id")
 		if err != nil {
 			return err
 		}
-		return s.DeleteStmt(id)
+		if err := s.DeleteStmt(id); err != nil {
+			return err
+		}
+		r.printReanalysis(s)
 	case "undo":
 		return s.Undo()
 	case "perf":
@@ -358,6 +364,13 @@ func (r *REPL) Execute(line string) error {
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
 	return nil
+}
+
+// printReanalysis reports how the last mutation's reanalysis ran —
+// the interactive-latency feedback the paper's edit loop promises.
+func (r *REPL) printReanalysis(s *core.Session) {
+	la := s.LastReanalysis
+	fmt.Fprintf(r.Out, "reanalyzed in %s (%s)\n", la.Duration.Round(time.Microsecond), la.Mode)
 }
 
 func (r *REPL) argInt(args []string, i int, what string) (int, error) {
