@@ -146,6 +146,7 @@ func checkFile(path string) error {
 		"BenchmarkServerThroughput": false,
 		"BenchmarkAnalysisCache":    false,
 		"BenchmarkEditReanalyze":    false,
+		"BenchmarkCompiledVsInterp": false,
 	}
 	nsPerOp := map[string]float64{}
 	for _, b := range doc.Benchmarks {
@@ -177,6 +178,17 @@ func checkFile(path string) error {
 	}
 	if ratio := whole / stmt; ratio < 5 {
 		return fmt.Errorf("%s: statement-granular reanalysis is only %.1fx faster than whole-unit (want >= 5x) — a regression in the patch path", path, ratio)
+	}
+	// The compile backend's whole reason to exist is native speed: hold
+	// the committed numbers to the compiled-over-interp ratio the design
+	// promises, including the per-run process spawn the compiled side pays.
+	itp := nsPerOp["BenchmarkCompiledVsInterp/interp"]
+	cmp := nsPerOp["BenchmarkCompiledVsInterp/compiled"]
+	if itp <= 0 || cmp <= 0 {
+		return fmt.Errorf("%s lacks ns/op for the BenchmarkCompiledVsInterp sub-benchmarks", path)
+	}
+	if ratio := itp / cmp; ratio < 5 {
+		return fmt.Errorf("%s: compiled execution is only %.1fx faster than the interpreter (want >= 5x) — a regression in the codegen backend", path, ratio)
 	}
 	return nil
 }

@@ -1,0 +1,143 @@
+// Command pedc is the ParaScope Fortran→Go compiler driver: it lowers
+// a workload (or a .f file) to a self-contained Go main package,
+// builds it into the per-user cache keyed by source hash, and runs
+// the native binary. The compiled program is byte-identical in output
+// to the interpreter; pedc exists so the backend is usable stand-alone
+// for inspection (-emit), ahead-of-time builds (-build), and timed
+// runs outside an editor session.
+//
+//	pedc -workload arc3d                     build + run, report timing
+//	pedc -workload arc3d -workers 8          parallel DOALL fan-out
+//	pedc -workload arc3d -emit               print the generated Go
+//	pedc -workload arc3d -o main.go          write the generated Go
+//	pedc -workload arc3d -build              build only, print binary path
+//	pedc -input "1.5 2" prog.f               compile a file, feed READ data
+//	                                         (flags before the file — stdlib
+//	                                         flag parsing stops at positionals)
+//
+// Programs the generator cannot lower exactly are declined with a
+// reason and exit status 3 — pedc never approximates semantics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"parascope/internal/codegen"
+	"parascope/internal/fortran"
+	"parascope/internal/workloads"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	workload := flag.String("workload", "", "compile a built-in workload by name")
+	emit := flag.Bool("emit", false, "print the generated Go source and exit")
+	out := flag.String("o", "", "write the generated Go source to this file and exit")
+	buildOnly := flag.Bool("build", false, "build without running; print the cached binary path")
+	workers := flag.Int("workers", 1, "DOALL worker goroutines (<=0 means GOMAXPROCS)")
+	cache := flag.String("cache", "", "build cache directory (empty = per-user default)")
+	inputStr := flag.String("input", "", "whitespace-separated READ input values (overrides workload input)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	flag.Parse()
+
+	var (
+		file  *fortran.File
+		input []float64
+		err   error
+	)
+	switch {
+	case *workload != "":
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "pedc: unknown workload %q; available:\n", *workload)
+			for _, x := range workloads.All() {
+				fmt.Fprintf(os.Stderr, "  %s — %s\n", x.Name, x.Description)
+			}
+			return 2
+		}
+		file, err = w.Parse()
+		input = w.Input
+	case flag.NArg() == 1:
+		var src []byte
+		if src, err = os.ReadFile(flag.Arg(0)); err == nil {
+			file, err = fortran.Parse(flag.Arg(0), string(src))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pedc [-workload name | file.f] [-emit|-o file|-build] [-workers n] [-input values]")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pedc: %v\n", err)
+		return 1
+	}
+	if *inputStr != "" {
+		for _, tok := range strings.Fields(*inputStr) {
+			v, perr := strconv.ParseFloat(tok, 64)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "pedc: bad -input value %q\n", tok)
+				return 2
+			}
+			input = append(input, v)
+		}
+	}
+
+	if *emit || *out != "" {
+		src, err := codegen.Generate(file)
+		if err != nil {
+			return report(err)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "pedc: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		fmt.Print(src)
+		return 0
+	}
+
+	art, err := codegen.Build(file, *cache)
+	if err != nil {
+		return report(err)
+	}
+	if *buildOnly {
+		status := "built"
+		if art.Cached {
+			status = "cached"
+		}
+		fmt.Printf("%s (%s)\n", art.Bin, status)
+		return 0
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := codegen.Run(ctx, art, *workers, input)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pedc: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Output)
+	fmt.Fprintf(os.Stderr, "pedc: %s in %s (workers=%d)\n", file.Path, res.Wall.Round(time.Microsecond), *workers)
+	return 0
+}
+
+// report prints a build failure; declined programs get their own exit
+// status so scripts can tell "cannot lower" from "broken toolchain".
+func report(err error) int {
+	fmt.Fprintf(os.Stderr, "pedc: %v\n", err)
+	if codegen.IsDeclined(err) {
+		return 3
+	}
+	return 1
+}

@@ -46,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,6 +74,7 @@ func run() int {
 	planTimeout := flag.Duration("plantimeout", 0, "default wall-clock budget per plan search (0 = planner default)")
 	planCache := flag.Int("plancache", 0, "plan result cache capacity in searches (0 = 32)")
 	faults := flag.String("faults", "", "chaos testing: arm fault injections, e.g. journal-append=delay:25ms,plan-fork=panic")
+	disableBackends := flag.String("disable-backends", "", "comma-separated execution backends POST /run refuses with 501 (e.g. compile)")
 	flag.Parse()
 
 	if err := faultpoint.ArmSpec(*faults); err != nil {
@@ -120,6 +122,9 @@ func run() int {
 	}
 	ready := &server.Readiness{}
 	opts := server.Options{ReqTimeout: *reqTimeout, MaxBodyBytes: *maxBody, Metrics: metrics, Ready: ready}
+	if *disableBackends != "" {
+		opts.DisabledBackends = strings.Split(*disableBackends, ",")
+	}
 	if *accessLog {
 		opts.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}

@@ -1,0 +1,75 @@
+// Differential test for the compile backend: on every workload of
+// the suite, the program compiled to Go by internal/codegen must
+// produce byte-identical output to the interpreter — for the serial
+// program as parsed, and for the script-parallelized version at
+// several DOALL worker counts. Byte identity (not tolerance-based
+// equivalence) is the contract: both backends share runfmt formatting
+// and replicate the same reduction-combining order.
+package parascope
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"parascope/internal/codegen"
+	"parascope/internal/fortran"
+	"parascope/internal/interp"
+	"parascope/internal/workloads"
+)
+
+// compiledVariants returns the serial and parallelized forms of a
+// workload, parsed fresh so tests cannot interfere.
+func compiledVariants(t testing.TB, w *workloads.Workload) map[string]*fortran.File {
+	t.Helper()
+	serial := w.MustParse()
+	s, err := w.Session()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if _, err := w.Script(s); err != nil {
+		t.Fatalf("script: %v", err)
+	}
+	return map[string]*fortran.File{"serial": serial, "parallel": s.File}
+}
+
+func TestCompiledMatchesInterp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles binaries; skipped in -short mode")
+	}
+	cache := t.TempDir()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for label, file := range compiledVariants(t, w) {
+				art, err := codegen.Build(file, cache)
+				if err != nil {
+					t.Fatalf("%s: build: %v", label, err)
+				}
+				counts := []int{1, 2, 4, 8}
+				if label == "serial" {
+					counts = []int{1}
+				}
+				for _, workers := range counts {
+					name := fmt.Sprintf("%s/w%d", label, workers)
+					want, _, err := interp.RunCaptureSim(file, workers, w.Input)
+					if err != nil {
+						t.Fatalf("%s: interp: %v", name, err)
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+					got, err := codegen.Run(ctx, art, workers, w.Input)
+					cancel()
+					if err != nil {
+						t.Fatalf("%s: compiled: %v", name, err)
+					}
+					if got.Output != want {
+						t.Fatalf("%s: compiled output differs from interpreter\ncompiled:\n%s\ninterp:\n%s",
+							name, got.Output, want)
+					}
+				}
+			}
+		})
+	}
+}

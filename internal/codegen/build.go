@@ -1,0 +1,179 @@
+package codegen
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"parascope/internal/fortran"
+)
+
+// genVersion is folded into the build-cache key so stale binaries are
+// never reused after the generator's lowering rules change.
+const genVersion = "pedc-1"
+
+//go:embed runfmt/runfmt.go
+var runfmtSrc string
+
+// Artifact is a compiled workload: the generated source, the cache
+// directory holding the module, and the built binary.
+type Artifact struct {
+	Source string // generated Go source for the main package
+	Dir    string // module directory inside the build cache
+	Bin    string // path of the built executable
+	Hash   string // cache key (source hash + generator version)
+	Cached bool   // true when a previously built binary was reused
+}
+
+// RunResult captures one execution of a compiled workload.
+type RunResult struct {
+	Output string        // captured stdout
+	Wall   time.Duration // wall-clock time of the process
+}
+
+// cacheRoot returns the directory compiled modules live under,
+// preferring the user cache dir and falling back to the system temp
+// directory. An explicit dir overrides both.
+func cacheRoot(dir string) string {
+	if dir != "" {
+		return dir
+	}
+	if c, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(c, "parascope-pedc")
+	}
+	return filepath.Join(os.TempDir(), "parascope-pedc")
+}
+
+// SourceHash returns the cache key for a parsed program: the hash of
+// its printed form salted with the generator version, so semantically
+// identical edits (comment/whitespace churn the printer drops) hit
+// the same cache entry.
+func SourceHash(f *fortran.File) string {
+	h := sha256.Sum256([]byte(genVersion + "\x00" + fortran.Print(f)))
+	return hex.EncodeToString(h[:16])
+}
+
+// Build lowers the program to Go and compiles it into the cache,
+// reusing a previously built binary when the source hash matches.
+// cacheDir may be empty to use the default location.
+func Build(f *fortran.File, cacheDir string) (*Artifact, error) {
+	src, err := Generate(f)
+	if err != nil {
+		return nil, err
+	}
+	hash := SourceHash(f)
+	dir := filepath.Join(cacheRoot(cacheDir), hash)
+	bin := filepath.Join(dir, "prog")
+	art := &Artifact{Source: src, Dir: dir, Bin: bin, Hash: hash}
+	if fi, err := os.Stat(bin); err == nil && fi.Mode().IsRegular() {
+		art.Cached = true
+		return art, nil
+	}
+	if err := compile(src, dir, bin); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// compile writes the module into a staging directory, runs go build,
+// and atomically renames the result into place so concurrent builds
+// of the same program never observe a half-written module.
+func compile(src, dir, bin string) error {
+	root := filepath.Dir(dir)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("codegen: create cache: %w", err)
+	}
+	stage, err := os.MkdirTemp(root, "build-")
+	if err != nil {
+		return fmt.Errorf("codegen: stage build: %w", err)
+	}
+	defer os.RemoveAll(stage)
+
+	files := map[string]string{
+		"go.mod":           "module gen\n\ngo 1.24\n",
+		"main.go":          src,
+		"runfmt/runfmt.go": runfmtSrc,
+	}
+	for name, content := range files {
+		p := filepath.Join(stage, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			return fmt.Errorf("codegen: stage build: %w", err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			return fmt.Errorf("codegen: stage build: %w", err)
+		}
+	}
+
+	cmd := exec.Command("go", "build", "-o", "prog", ".")
+	cmd.Dir = stage
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOPROXY=off", "GOFLAGS=-mod=mod")
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("codegen: go build failed: %v\n%s", err, errb.String())
+	}
+	if err := os.Rename(stage, dir); err != nil {
+		// A concurrent build won the rename; its binary is equivalent.
+		if _, statErr := os.Stat(bin); statErr == nil {
+			return nil
+		}
+		return fmt.Errorf("codegen: install build: %w", err)
+	}
+	return nil
+}
+
+// FormatInput renders READ input values in the exact token form the
+// generated program's stdin reader parses back losslessly.
+func FormatInput(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, "\n") + "\n"
+}
+
+// Run executes a built artifact with the given DOALL worker count and
+// READ input, capturing stdout and wall-clock time. A non-zero exit
+// is surfaced as an error carrying the program's stderr.
+func Run(ctx context.Context, art *Artifact, workers int, input []float64) (*RunResult, error) {
+	cmd := exec.CommandContext(ctx, art.Bin, "-workers="+strconv.Itoa(workers))
+	cmd.Stdin = strings.NewReader(FormatInput(input))
+	var outb, errb bytes.Buffer
+	cmd.Stdout = &outb
+	cmd.Stderr = &errb
+	start := time.Now()
+	err := cmd.Run()
+	wall := time.Since(start)
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("codegen: run timed out: %w", ctx.Err())
+	}
+	if err != nil {
+		msg := strings.TrimSpace(errb.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("codegen: %s", msg)
+	}
+	return &RunResult{Output: outb.String(), Wall: wall}, nil
+}
+
+// Exec builds (or reuses) the compiled form and runs it once.
+func Exec(ctx context.Context, f *fortran.File, workers int, input []float64, cacheDir string) (*RunResult, error) {
+	art, err := Build(f, cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return Run(ctx, art, workers, input)
+}

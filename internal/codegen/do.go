@@ -1,0 +1,239 @@
+package codegen
+
+import (
+	"fmt"
+
+	"parascope/internal/fortran"
+)
+
+// genDo lowers a DO loop. Sequential loops become a counted Go for
+// loop with the interpreter's trip-count arithmetic; loops marked
+// `c$par doall` additionally get a parallel branch taken when the
+// trip count exceeds one, replicating the interpreter's fan-out
+// protocol so that reduction results are byte-identical at equal
+// worker counts.
+func (g *gen) genDo(st *fortran.DoStmt) {
+	k := g.tmp
+	g.tmp++
+	ivar := st.Var
+	if ivar == nil {
+		g.decline("DO loop without a control variable")
+	}
+	if g.symType(ivar) != tInt {
+		g.decline("non-integer DO variable %s", ivar.Name)
+	}
+
+	g.w("{")
+	g.ind++
+	g.w("lo%d := %s", k, g.toInt(g.expr(st.Lo)))
+	g.w("hi%d := %s", k, g.toInt(g.expr(st.Hi)))
+	if st.Step != nil {
+		g.w("st%d := %s", k, g.toInt(g.expr(st.Step)))
+	} else {
+		g.w("st%d := cI(1)", k)
+	}
+	g.w("if st%d == 0 {", k)
+	g.w("\trtErr(\"zero DO step\")")
+	g.w("}")
+	g.w("tr%d := (hi%d - lo%d + st%d) / st%d", k, k, k, k, k)
+	g.w("if tr%d < 0 {", k)
+	g.w("\ttr%d = 0", k)
+	g.w("}")
+	if st.Parallel {
+		g.w("if tr%d > 1 {", k)
+		g.ind++
+		g.genDoall(st, k)
+		g.ind--
+		g.w("} else {")
+		g.ind++
+		g.genSeqBody(st, k)
+		g.ind--
+		g.w("}")
+	} else {
+		g.genSeqBody(st, k)
+	}
+	g.ind--
+	g.w("}")
+}
+
+func (g *gen) genSeqBody(st *fortran.DoStmt, k int) {
+	iv := g.scalRef(st.Var)
+	g.w("iv%d := lo%d", k, k)
+	g.w("for n%d := cI(0); n%d < tr%d; n%d++ {", k, k, k, k)
+	g.ind++
+	g.w("%s = iv%d", iv, k)
+	g.stmts(st.Body)
+	g.w("iv%d += st%d", k, k)
+	g.ind--
+	g.w("}")
+	g.w("%s = iv%d", iv, k)
+}
+
+// checkParallelBody declines constructs whose execution inside a
+// DOALL worker the interpreter treats as an error (escaping control
+// flow) or that would race on shared interpreter state (READ).
+func (g *gen) checkParallelBody(body []fortran.Stmt, stack [][]fortran.Stmt) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *fortran.ReturnStmt, *fortran.StopStmt:
+			g.decline("control flow escaping a parallel loop")
+		case *fortran.ReadStmt:
+			g.decline("READ inside a parallel loop")
+		case *fortran.GotoStmt:
+			if !g.resolveGotoIn(stack, st.Target) {
+				g.decline("control flow escaping a parallel loop")
+			}
+		case *fortran.IfStmt:
+			g.checkParallelBody(st.Then, append(stack, st.Then))
+			g.checkParallelBody(st.Else, append(stack, st.Else))
+		case *fortran.DoStmt:
+			g.checkParallelBody(st.Body, append(stack, st.Body))
+		case *fortran.WhileStmt:
+			g.checkParallelBody(st.Body, append(stack, st.Body))
+		}
+	}
+}
+
+func (g *gen) genDoall(st *fortran.DoStmt, k int) {
+	g.checkParallelBody(st.Body, [][]fortran.Stmt{st.Body})
+
+	// Privatized symbols: the Private list plus the loop variable;
+	// reduction variables get identity-seeded storage instead.
+	reduced := map[*fortran.Symbol]bool{}
+	for _, r := range st.Reductions {
+		if r.Sym.Kind != fortran.SymScalar {
+			g.decline("non-scalar reduction variable %s", r.Sym.Name)
+		}
+		if t := g.symType(r.Sym); t != tInt && t != tFloat {
+			g.decline("non-numeric reduction variable %s", r.Sym.Name)
+		}
+		reduced[r.Sym] = true
+	}
+	private := make([]*fortran.Symbol, 0, len(st.Private)+1)
+	seen := map[*fortran.Symbol]bool{}
+	for _, p := range append(append([]*fortran.Symbol{}, st.Private...), st.Var) {
+		if seen[p] || reduced[p] {
+			continue
+		}
+		if p.Kind != fortran.SymScalar && p.Kind != fortran.SymArray {
+			continue
+		}
+		seen[p] = true
+		private = append(private, p)
+	}
+
+	g.w("nw%d := gWorkers()", k)
+	g.w("if nw%d > tr%d {", k, k)
+	g.w("\tnw%d = tr%d", k, k)
+	g.w("}")
+	for ri, r := range st.Reductions {
+		g.w("red%d_%d := make([]%s, nw%d)", ri, k, g.symType(r.Sym).goName(), k)
+	}
+	g.w("var wg%d sync.WaitGroup", k)
+	g.w("for w%d := cI(0); w%d < nw%d; w%d++ {", k, k, k, k)
+	g.ind++
+	g.w("wg%d.Add(1)", k)
+	g.w("go func(w%d int64) {", k)
+	g.ind++
+	g.w("defer wg%d.Done()", k)
+
+	// Private storage: worker-local shadows of the shared names, so
+	// the body text lowers identically in both branches.
+	for _, p := range private {
+		name := g.arrName(p) // same mangling for scalars and arrays
+		switch {
+		case p.Kind == fortran.SymArray:
+			g.w("%s := %s.blank()", name, name)
+		case p.Dummy:
+			g.w("%s := %s(%s)", mangleVar(p.Name), refFn(g.symType(p)), zeroLit(g.symType(p)))
+			name = mangleVar(p.Name)
+		default:
+			g.w("var %s %s", name, g.symType(p).goName())
+		}
+		g.w("_ = %s", name)
+	}
+	for ri, r := range st.Reductions {
+		ident := reductionIdentity(r, g.symType(r.Sym))
+		if r.Sym.Dummy {
+			g.w("%s := %s(%s)", mangleVar(r.Sym.Name), refFn(g.symType(r.Sym)), ident)
+		} else if r.Sym.Common != "" {
+			g.w("%s := %s", mangleCommon(r.Sym.Common, r.Sym.Name), ident)
+		} else {
+			g.w("%s := %s", mangleVar(r.Sym.Name), ident)
+		}
+		_ = ri
+	}
+
+	// Block-cyclic iteration assignment, as the interpreter does it.
+	g.w("for n%d := w%d; n%d < tr%d; n%d += nw%d {", k, k, k, k, k, k)
+	g.ind++
+	g.w("%s = lo%d + n%d*st%d", g.scalRef(st.Var), k, k, k)
+	g.stmts(st.Body)
+	g.ind--
+	g.w("}")
+	for ri, r := range st.Reductions {
+		g.w("red%d_%d[w%d] = %s", ri, k, k, g.scalRef(r.Sym))
+	}
+	g.ind--
+	g.w("}(w%d)", k)
+	g.ind--
+	g.w("}")
+	g.w("wg%d.Wait()", k)
+
+	// Combine per-worker reduction accumulators in worker order,
+	// starting from the shared variable's current value.
+	for ri, r := range st.Reductions {
+		outer := g.scalRef(r.Sym)
+		g.w("acc%d_%d := %s", ri, k, outer)
+		g.w("for w%d := cI(0); w%d < nw%d; w%d++ {", k, k, k, k)
+		g.ind++
+		g.combine(r, fmt.Sprintf("acc%d_%d", ri, k), fmt.Sprintf("red%d_%d[w%d]", ri, k, k))
+		g.ind--
+		g.w("}")
+		g.w("%s = acc%d_%d", outer, ri, k)
+	}
+	// Final loop variable value, as the sequential loop would leave it.
+	g.w("%s = lo%d + tr%d*st%d", g.scalRef(st.Var), k, k, k)
+}
+
+func reductionIdentity(r fortran.Reduction, t gtype) string {
+	switch {
+	case r.OpName == "max":
+		if t == tInt {
+			return "cI(-9223372036854775808)"
+		}
+		return "math.Inf(-1)"
+	case r.OpName == "min":
+		if t == tInt {
+			return "cI(9223372036854775807)"
+		}
+		return "math.Inf(1)"
+	case r.Op == fortran.TokStar:
+		if t == tInt {
+			return "cI(1)"
+		}
+		return "cF(1.0)"
+	default: // sum
+		if t == tInt {
+			return "cI(0)"
+		}
+		return "cF(0.0)"
+	}
+}
+
+func (g *gen) combine(r fortran.Reduction, acc, v string) {
+	switch {
+	case r.OpName == "max":
+		g.w("if %s > %s {", v, acc)
+		g.w("\t%s = %s", acc, v)
+		g.w("}")
+	case r.OpName == "min":
+		g.w("if %s < %s {", v, acc)
+		g.w("\t%s = %s", acc, v)
+		g.w("}")
+	case r.Op == fortran.TokStar:
+		g.w("%s = %s * %s", acc, acc, v)
+	default:
+		g.w("%s = %s + %s", acc, acc, v)
+	}
+}

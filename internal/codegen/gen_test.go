@@ -1,0 +1,365 @@
+package codegen
+
+import (
+	"context"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parascope/internal/fortran"
+	"parascope/internal/interp"
+)
+
+func parse(t testing.TB, src string) *fortran.File {
+	t.Helper()
+	f, err := fortran.Parse("test.f", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+// runBoth executes a program under the interpreter and compiled,
+// failing unless the outputs are byte-identical.
+func runBoth(t *testing.T, cache, src string, workers int, input []float64) string {
+	t.Helper()
+	f := parse(t, src)
+	want, err := interp.RunCapture(f, workers, input)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, err := Exec(ctx, f, workers, input, cache)
+	if err != nil {
+		t.Fatalf("compiled: %v", err)
+	}
+	if got.Output != want {
+		t.Fatalf("output mismatch\ncompiled:\n%q\ninterp:\n%q", got.Output, want)
+	}
+	return got.Output
+}
+
+func TestCompiledSnippets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles binaries; skipped in -short mode")
+	}
+	cache := t.TempDir()
+
+	t.Run("goto-and-labels", func(t *testing.T) {
+		runBoth(t, cache, `
+      program p
+      integer i, n
+      n = 0
+      i = 0
+   10 continue
+      i = i + 1
+      n = n + i*i
+      if (i .lt. 5) goto 10
+      print *, n, i
+      end
+`, 1, nil)
+	})
+
+	t.Run("call-and-function", func(t *testing.T) {
+		runBoth(t, cache, `
+      program p
+      real a(10), s
+      integer i
+      do 10 i = 1, 10
+        a(i) = real(i) * 1.5
+   10 continue
+      call scale(a, 10, 2.0)
+      s = total(a, 10)
+      print *, s
+      end
+      subroutine scale(x, n, f)
+      real x(n), f
+      integer n, i
+      do 20 i = 1, n
+        x(i) = x(i) * f
+   20 continue
+      end
+      function total(x, n)
+      real total, x(n)
+      integer n, i
+      total = 0.0
+      do 30 i = 1, n
+        total = total + x(i)
+   30 continue
+      end
+`, 1, nil)
+	})
+
+	t.Run("common-and-read", func(t *testing.T) {
+		runBoth(t, cache, `
+      program p
+      common /blk/ c(4), k
+      real c
+      integer k, i
+      real v
+      read(*,*) v
+      k = 3
+      do 10 i = 1, 4
+        c(i) = v + real(i)
+   10 continue
+      call show
+      end
+      subroutine show
+      common /blk/ c(4), k
+      real c
+      integer k, i
+      do 20 i = 1, k
+        print *, c(i)
+   20 continue
+      end
+`, 1, []float64{2.5})
+	})
+
+	t.Run("intrinsics", func(t *testing.T) {
+		runBoth(t, cache, `
+      program p
+      real x, y
+      integer i, j
+      x = -3.75
+      y = 2.0
+      i = -7
+      j = 3
+      print *, abs(x), sqrt(y), mod(i, j), max(i, j), amin1(x, y)
+      print *, sign(x, y), dim(y, x), nint(x), int(x), float(j)
+      end
+`, 1, nil)
+	})
+
+	t.Run("stop-flushes", func(t *testing.T) {
+		runBoth(t, cache, `
+      program p
+      print *, 1
+      stop
+      print *, 2
+      end
+`, 1, nil)
+	})
+}
+
+func TestDeclines(t *testing.T) {
+	cases := []struct {
+		name, src, reason string
+	}{
+		{"external-call", `
+      program p
+      call nosuch(1)
+      end
+`, "unknown subroutine"},
+		{"power-nonconst", `
+      program p
+      integer i, j, k
+      i = 2
+      j = 3
+      k = i ** j
+      print *, k
+      end
+`, "exponent"},
+		{"whole-array-expr", `
+      program p
+      real a(3), b(3)
+      b = a
+      end
+`, "whole-array"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := parse(t, c.src)
+			_, err := Generate(f)
+			if !IsDeclined(err) {
+				t.Fatalf("want declined, got %v", err)
+			}
+			if !strings.Contains(err.Error(), c.reason) {
+				t.Fatalf("reason %q does not mention %q", err, c.reason)
+			}
+		})
+	}
+}
+
+func TestBuildCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles binaries; skipped in -short mode")
+	}
+	cache := t.TempDir()
+	src := `
+      program p
+      print *, 42
+      end
+`
+	f := parse(t, src)
+	a1, err := Build(f, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Cached {
+		t.Fatal("first build reported cached")
+	}
+	a2, err := Build(parse(t, src), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Cached {
+		t.Fatal("second build did not hit the cache")
+	}
+	if a1.Hash != a2.Hash {
+		t.Fatalf("hash changed across identical builds: %s vs %s", a1.Hash, a2.Hash)
+	}
+	other := parse(t, strings.Replace(src, "42", "43", 1))
+	if h := SourceHash(other); h == a1.Hash {
+		t.Fatal("different programs share a hash")
+	}
+}
+
+func TestRuntimeErrorPropagates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles binaries; skipped in -short mode")
+	}
+	cache := t.TempDir()
+	f := parse(t, `
+      program p
+      integer i, j
+      i = 1
+      j = 0
+      print *, i / j
+      end
+`)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, err := Exec(ctx, f, 1, nil, cache)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("want division-by-zero error, got %v", err)
+	}
+}
+
+// typeCheckGenerated verifies a generated program against the full Go
+// type system (not just the grammar), resolving the gen/runfmt import
+// to the embedded runfmt source.
+var (
+	runfmtPkgOnce sync.Once
+	runfmtPkg     *types.Package
+	runfmtPkgErr  error
+	// One shared gc importer: it caches stdlib packages internally,
+	// which keeps repeated type-checks (the fuzz loop) fast.
+	stdImporter   = importer.Default()
+	stdImporterMu sync.Mutex
+)
+
+type genImporter struct{}
+
+func (genImporter) Import(path string) (*types.Package, error) {
+	if path == "gen/runfmt" {
+		runfmtPkgOnce.Do(func() {
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "runfmt.go", runfmtSrc, 0)
+			if err != nil {
+				runfmtPkgErr = err
+				return
+			}
+			conf := types.Config{Importer: genImporter{}}
+			runfmtPkg, runfmtPkgErr = conf.Check("gen/runfmt", fset, []*ast.File{f}, nil)
+		})
+		return runfmtPkg, runfmtPkgErr
+	}
+	stdImporterMu.Lock()
+	defer stdImporterMu.Unlock()
+	return stdImporter.Import(path)
+}
+
+func typeCheckGenerated(t *testing.T, src string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "main.go", src, 0)
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	conf := types.Config{Importer: genImporter{}}
+	if _, err := conf.Check("main", fset, []*ast.File{f}, nil); err != nil {
+		t.Fatalf("generated source does not type-check: %v\n%s", err, src)
+	}
+}
+
+// FuzzCodegen asserts the generator's core contract: for any source
+// the Fortran front end accepts, Generate either declines with a
+// reason or emits Go that compiles (checked here with go/types, which
+// catches everything short of linking).
+func FuzzCodegen(f *testing.F) {
+	seeds := []string{
+		`
+      program p
+      integer i, n
+      real s
+      s = 0.0
+      n = 10
+      do 10 i = 1, n
+        s = s + real(i) ** 2
+   10 continue
+      print *, s
+      end
+`,
+		`
+      program p
+      integer i
+      i = 0
+   10 i = i + 1
+      if (i .lt. 3) goto 10
+      print *, i
+      end
+`,
+		`
+      program p
+      real a(5)
+      integer i
+      read(*,*) a(1)
+      do 10 i = 2, 5
+        a(i) = a(i-1) * 2.0
+   10 continue
+      print *, a(5)
+      end
+`,
+		`
+      program p
+      common /c/ x
+      real x
+      x = 1.5
+      call bump
+      print *, x
+      end
+      subroutine bump
+      common /c/ x
+      real x
+      x = x + 1.0
+      end
+`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := fortran.Parse("fuzz.f", src)
+		if err != nil {
+			t.Skip()
+		}
+		out, err := Generate(file)
+		if err != nil {
+			if !IsDeclined(err) {
+				t.Fatalf("generator failed without declining: %v", err)
+			}
+			if strings.TrimSpace(err.Error()) == "" {
+				t.Fatal("declined without a reason")
+			}
+			return
+		}
+		typeCheckGenerated(t, out)
+	})
+}

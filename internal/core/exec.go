@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"parascope/internal/codegen"
+	"parascope/internal/interp"
+)
+
+// Execution backends. BackendInterp runs the session's program under
+// the simulating interpreter; BackendCompile lowers it to Go, builds
+// a native binary into the pedc cache, and executes that. Both
+// produce byte-identical output for every program the code generator
+// accepts.
+const (
+	BackendInterp  = "interp"
+	BackendCompile = "compile"
+)
+
+// Backends lists the valid ExecRequest.Backend values.
+func Backends() []string { return []string{BackendInterp, BackendCompile} }
+
+// ExecRequest selects how to execute a session's current program.
+// The zero value means: interpret, one DOALL worker, no READ input,
+// no timeout.
+type ExecRequest struct {
+	// Backend is BackendInterp or BackendCompile; empty means interp.
+	Backend string
+	// Workers bounds the goroutines a DOALL loop fans out to; values
+	// below one mean one.
+	Workers int
+	// Input supplies the values list-directed READ statements consume.
+	Input []float64
+	// Timeout aborts the run when positive.
+	Timeout time.Duration
+	// CacheDir overrides the compile backend's build cache location
+	// (tests); empty means the per-user default.
+	CacheDir string
+}
+
+// ExecResult is one execution's outcome, uniform across backends.
+type ExecResult struct {
+	// Output is the captured list-directed PRINT output.
+	Output string
+	// Wall is the execution's wall-clock duration. For the compile
+	// backend it covers only the run, not the (cached) build.
+	Wall time.Duration
+	// SimCycles is the interpreter's simulated parallel cycle count;
+	// zero for the compile backend, which reports real time instead.
+	SimCycles int64
+	// Backend records which backend actually ran.
+	Backend string
+}
+
+// Exec runs the session's current program under the requested
+// backend. The compile backend declines programs it cannot lower
+// exactly (codegen.IsDeclined distinguishes that from build or
+// runtime failure); the interpreter accepts everything.
+func (s *Session) Exec(req ExecRequest) (ExecResult, error) {
+	backend := req.Backend
+	if backend == "" {
+		backend = BackendInterp
+	}
+	workers := req.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	switch backend {
+	case BackendInterp:
+		type done struct {
+			out    string
+			cycles int64
+			err    error
+		}
+		start := time.Now()
+		if req.Timeout <= 0 {
+			out, cycles, err := interp.RunCaptureSim(s.File, workers, req.Input)
+			if err != nil {
+				return ExecResult{}, err
+			}
+			return ExecResult{Output: out, Wall: time.Since(start), SimCycles: cycles, Backend: backend}, nil
+		}
+		ch := make(chan done, 1)
+		go func() {
+			out, cycles, err := interp.RunCaptureSim(s.File, workers, req.Input)
+			ch <- done{out, cycles, err}
+		}()
+		select {
+		case d := <-ch:
+			if d.err != nil {
+				return ExecResult{}, d.err
+			}
+			return ExecResult{Output: d.out, Wall: time.Since(start), SimCycles: d.cycles, Backend: backend}, nil
+		case <-time.After(req.Timeout):
+			return ExecResult{}, fmt.Errorf("interp: run timed out after %s", req.Timeout)
+		}
+	case BackendCompile:
+		ctx := context.Background()
+		if req.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+			defer cancel()
+		}
+		art, err := codegen.Build(s.File, req.CacheDir)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		res, err := codegen.Run(ctx, art, workers, req.Input)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		return ExecResult{Output: res.Output, Wall: res.Wall, Backend: backend}, nil
+	default:
+		return ExecResult{}, fmt.Errorf("unknown backend %q (want %s)", backend, strings.Join(Backends(), " or "))
+	}
+}
+
+// ParseExecRequest parses the argument list of the `run` verb:
+//
+//	run [workers] [backend=interp|compile]
+//
+// in either order. It leaves Input and Timeout at their zero values
+// for the caller to fill.
+func ParseExecRequest(args []string) (ExecRequest, error) {
+	req := ExecRequest{Workers: 1}
+	seenWorkers := false
+	for _, a := range args {
+		if v, ok := strings.CutPrefix(a, "backend="); ok {
+			if req.Backend != "" {
+				return req, fmt.Errorf("duplicate backend argument %q", a)
+			}
+			if v != BackendInterp && v != BackendCompile {
+				return req, fmt.Errorf("unknown backend %q (want %s)", v, strings.Join(Backends(), " or "))
+			}
+			req.Backend = v
+			continue
+		}
+		w, err := strconv.Atoi(a)
+		if err != nil || seenWorkers {
+			return req, fmt.Errorf("usage: run [workers] [backend=interp|compile], got %q", a)
+		}
+		if w < 1 {
+			return req, fmt.Errorf("worker count must be at least 1, got %d", w)
+		}
+		req.Workers = w
+		seenWorkers = true
+	}
+	return req, nil
+}

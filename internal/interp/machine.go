@@ -5,10 +5,10 @@ import (
 	"io"
 	"math"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 
+	"parascope/internal/codegen/runfmt"
 	"parascope/internal/fortran"
 )
 
@@ -352,7 +352,7 @@ func (f *frame) exec(s fortran.Stmt) (signal, error) {
 			}
 			parts = append(parts, v.String())
 		}
-		fmt.Fprintln(f.m.Out, strings.Join(parts, " "))
+		io.WriteString(f.m.Out, runfmt.Line(parts))
 		return sigNormal, nil
 	case *fortran.ReadStmt:
 		for _, it := range st.Items {

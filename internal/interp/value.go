@@ -10,6 +10,7 @@ package interp
 import (
 	"fmt"
 
+	"parascope/internal/codegen/runfmt"
 	"parascope/internal/fortran"
 )
 
@@ -54,26 +55,20 @@ func (v Value) Int() int64 {
 // Bool returns the logical value.
 func (v Value) Bool() bool { return v.B }
 
+// String formats the value for list-directed output. The formatting
+// itself lives in runfmt, shared with the compiled backend so both
+// produce byte-identical records.
 func (v Value) String() string {
 	switch v.Type {
 	case fortran.TypeInteger:
-		return fmt.Sprintf("%d", v.I)
+		return runfmt.Int(v.I)
 	case fortran.TypeLogical:
-		if v.B {
-			return "T"
-		}
-		return "F"
+		return runfmt.Logical(v.B)
 	case fortran.TypeCharacter:
 		return v.S
 	default:
-		return trimFloat(v.R)
+		return runfmt.Real(v.R)
 	}
-}
-
-// trimFloat prints reals the way list-directed Fortran output roughly
-// does: a compact, locale-free decimal form.
-func trimFloat(f float64) string {
-	return fmt.Sprintf("%g", f)
 }
 
 // convert coerces a value to the target type, following Fortran

@@ -35,6 +35,9 @@ func (p *Plan) Format() string {
 	if p.SimSpeedup > 0 {
 		fmt.Fprintf(&b, "  sim %.1fx", p.SimSpeedup)
 	}
+	if p.CompiledSpeedup > 0 {
+		fmt.Fprintf(&b, "  compiled %.1fx", p.CompiledSpeedup)
+	}
 	fmt.Fprintf(&b, "  score %.1f  (%d parallel loop(s), %d step(s))\n",
 		p.Score, p.Parallelized, len(p.Steps))
 	for _, s := range p.Steps {

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"parascope/internal/codegen"
 	"parascope/internal/core"
 	"parascope/internal/dep"
 	"parascope/internal/faultpoint"
@@ -80,6 +81,14 @@ type Options struct {
 	// Input supplies READ data for interpreted runs; when nil the
 	// workload suite is consulted by source path.
 	Input []float64
+	// Compiled additionally times interp-validated finalists as
+	// native binaries through the pedc backend, recording real
+	// wall-clock speedups next to the simulated ones. Programs the
+	// code generator declines simply skip the measurement.
+	Compiled bool
+	// CompileCache overrides the pedc build cache directory (tests);
+	// empty means the per-user default.
+	CompileCache string
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +149,10 @@ type Plan struct {
 	EstSpeedup float64 `json:"est_speedup"`
 	// SimSpeedup is the interpreted speedup (0 when not interpreted).
 	SimSpeedup float64 `json:"sim_speedup,omitempty"`
+	// CompiledSpeedup is the real wall-clock speedup measured by
+	// compiling base and plan with the pedc backend (0 when not
+	// requested, or when the code generator declined the program).
+	CompiledSpeedup float64 `json:"compiled_speedup,omitempty"`
 	// Score ranks plans: the mean of the estimated and interpreted
 	// speedups when both exist, the estimate alone otherwise.
 	Score float64 `json:"score"`
@@ -207,6 +220,9 @@ type world struct {
 	par   int     // parallel loops in the unit
 	// simSpeedup is filled for finalists when interpretation is on.
 	simSpeedup float64
+	// compiledSpeedup is the real wall-clock speedup of the compiled
+	// plan over the compiled base (0 when not measured).
+	compiledSpeedup float64
 }
 
 type searcher struct {
@@ -455,16 +471,16 @@ func (s *searcher) rankPlans(base *world, finals []*world) []Plan {
 		finals = finals[:s.opts.TopPlans]
 	}
 
+	input := s.opts.Input
+	if input == nil {
+		if wl := workloads.ByName(strings.TrimSuffix(s.path, ".f")); wl != nil {
+			input = wl.Input
+		}
+	}
 	var baseOut string
 	var baseCycles int64
 	interpOK := false
 	if s.opts.Interp && len(finals) > 0 {
-		input := s.opts.Input
-		if input == nil {
-			if wl := workloads.ByName(strings.TrimSuffix(s.path, ".f")); wl != nil {
-				input = wl.Input
-			}
-		}
 		var err error
 		baseOut, baseCycles, err = interp.RunCaptureSim(base.sess.File, s.opts.InterpWorkers, input)
 		interpOK = err == nil && baseCycles > 0
@@ -490,6 +506,27 @@ func (s *searcher) rankPlans(base *world, finals []*world) []Plan {
 		}
 	}
 
+	// Compiled ground truth: time the surviving finalists as native
+	// binaries against the compiled base. Purely additive evidence —
+	// a declined or failed compilation leaves the plan's interp-based
+	// ranking untouched.
+	if s.opts.Compiled && len(finals) > 0 {
+		ctx := context.Background()
+		baseRes, err := codegen.Exec(ctx, base.sess.File, s.opts.InterpWorkers, input, s.opts.CompileCache)
+		if err == nil && baseRes.Wall > 0 {
+			for _, w := range finals {
+				res, err := codegen.Exec(ctx, w.sess.File, s.opts.InterpWorkers, input, s.opts.CompileCache)
+				if err != nil || res.Wall <= 0 {
+					continue
+				}
+				if ok, _ := interp.OutputsEquivalent(baseRes.Output, res.Output, 1e-6); !ok {
+					continue
+				}
+				w.compiledSpeedup = float64(baseRes.Wall) / float64(res.Wall)
+			}
+		}
+	}
+
 	plans := make([]Plan, 0, len(finals))
 	for i, w := range finals {
 		est := 1.0
@@ -504,17 +541,18 @@ func (s *searcher) rankPlans(base *world, finals []*world) []Plan {
 		steps = append(steps, Step{Line: "unit " + s.unit, Hash: base.hash})
 		steps = append(steps, w.steps...)
 		plans = append(plans, Plan{
-			ID:           w.hash[:12],
-			Rank:         i + 1,
-			EstSpeedup:   est,
-			SimSpeedup:   w.simSpeedup,
-			Score:        score,
-			Parallelized: w.par,
-			BaseHash:     base.hash,
-			Steps:        steps,
-			Decisions:    decisions(w.sess),
-			Diff:         Diff(base.src, w.src),
-			Source:       w.src,
+			ID:              w.hash[:12],
+			Rank:            i + 1,
+			EstSpeedup:      est,
+			SimSpeedup:      w.simSpeedup,
+			CompiledSpeedup: w.compiledSpeedup,
+			Score:           score,
+			Parallelized:    w.par,
+			BaseHash:        base.hash,
+			Steps:           steps,
+			Decisions:       decisions(w.sess),
+			Diff:            Diff(base.src, w.src),
+			Source:          w.src,
 		})
 	}
 	// Rank by combined score (interp evidence can reorder estimates).

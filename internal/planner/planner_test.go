@@ -202,3 +202,30 @@ func TestDiff(t *testing.T) {
 		t.Errorf("identical inputs should collapse entirely: %q", planner.Diff("same\n", "same\n"))
 	}
 }
+
+// TestSearchCompiledGroundTruth opts finalists into the pedc compile
+// backend: plans that survive interp validation get a real wall-clock
+// speedup measured from native binaries. Timing is hardware-dependent,
+// so the test only asserts that the measurement happened (non-zero)
+// and that it never resurrects an interp-rejected plan.
+func TestSearchCompiledGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compile backend builds binaries; skipped in -short mode")
+	}
+	res := search(t, "onedim", planner.Options{
+		Interp: true, Compiled: true, CompileCache: t.TempDir(),
+		MaxWorlds: 40, TopPlans: 2,
+	})
+	if len(res.Plans) == 0 {
+		t.Fatal("no plans found")
+	}
+	measured := 0
+	for _, p := range res.Plans {
+		if p.CompiledSpeedup > 0 {
+			measured++
+		}
+	}
+	if measured == 0 {
+		t.Fatalf("no plan carries a compiled speedup: %+v", res.Plans)
+	}
+}

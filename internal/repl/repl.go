@@ -17,7 +17,6 @@ import (
 	"parascope/internal/core"
 	"parascope/internal/dep"
 	"parascope/internal/fortran"
-	"parascope/internal/interp"
 	"parascope/internal/perf"
 	"parascope/internal/planner"
 	"parascope/internal/view"
@@ -230,23 +229,21 @@ func (r *REPL) Execute(line string) error {
 		n := s.AutoParallelize()
 		fmt.Fprintf(r.Out, "parallelized %d loops\n", n)
 	case "run":
-		workers := 1
-		if len(args) > 0 {
-			w, err := strconv.Atoi(args[0])
-			if err != nil {
-				return fmt.Errorf("bad worker count %q", args[0])
-			}
-			workers = w
-		}
-		var input []float64
-		if w := workloads.ByName(strings.TrimSuffix(s.File.Path, ".f")); w != nil {
-			input = w.Input
-		}
-		out, err := interp.RunCapture(s.File, workers, input)
+		req, err := core.ParseExecRequest(args)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(r.Out, out)
+		if w := workloads.ByName(strings.TrimSuffix(s.File.Path, ".f")); w != nil {
+			req.Input = w.Input
+		}
+		res, err := s.Exec(req)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(r.Out, res.Output)
+		if res.Backend == core.BackendCompile {
+			fmt.Fprintf(r.Out, "[compiled: %s]\n", res.Wall.Round(time.Microsecond))
+		}
 	case "set":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: set sections|constants|ranges|inputdeps|interproc on|off")
@@ -392,7 +389,7 @@ func (r *REPL) parseTransformation(args []string) (xform.Transformation, error) 
 }
 
 // parsePlanArgs parses the optional key=value budget arguments of the
-// plan command: beam=N depth=N worlds=N ms=N top=N nointerp.
+// plan command: beam=N depth=N worlds=N ms=N top=N nointerp compiled.
 func parsePlanArgs(args []string) (planner.Options, error) {
 	opts := planner.Options{Interp: true}
 	for _, a := range args {
@@ -400,9 +397,13 @@ func parsePlanArgs(args []string) (planner.Options, error) {
 			opts.Interp = false
 			continue
 		}
+		if a == "compiled" {
+			opts.Compiled = true
+			continue
+		}
 		k, v, ok := strings.Cut(a, "=")
 		if !ok {
-			return opts, fmt.Errorf("bad plan option %q (want beam=N depth=N worlds=N ms=N top=N nointerp)", a)
+			return opts, fmt.Errorf("bad plan option %q (want beam=N depth=N worlds=N ms=N top=N nointerp compiled)", a)
 		}
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
@@ -480,13 +481,13 @@ const helpText = `commands:
   compose                                cross-procedure parameter checks
   edit <stmt-id> <text> | delete <id> | undo
   perf | rank | auto                     performance navigation
-  plan [beam=N depth=N worlds=N ms=N top=N nointerp]
+  plan [beam=N depth=N worlds=N ms=N top=N nointerp compiled]
                                          speculative search: rank auto-
                                          parallelization plans in forked worlds
   plans                                  reshow the last plan result
   apply-plan [n]                         accept plan n (default 1)
   set <analysis> on|off                  toggle sections constants ranges
                                          inputdeps interproc (ablations)
-  run [workers]                          execute the program
+  run [workers] [backend=interp|compile] execute the program
   history | save | quit
 `

@@ -150,6 +150,31 @@ type TransformRequest struct {
 	CheckOnly bool     `json:"check_only,omitempty"`
 }
 
+// RunRequest executes the session's current program through the
+// unified execution API. Backend selects the engine: "interp" (the
+// default, the simulating interpreter) or "compile" (lower to Go,
+// build into the pedc cache, run the native binary).
+type RunRequest struct {
+	Backend string `json:"backend,omitempty"`
+	// Workers bounds DOALL fan-out; values below one mean one.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs aborts the run after this many milliseconds; zero
+	// leaves only the server's per-request deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse carries one execution's captured output and timing.
+type RunResponse struct {
+	Output string `json:"output"`
+	// WallMicros is the run's wall-clock time in microseconds.
+	WallMicros int64 `json:"wall_us"`
+	// SimCycles is the interpreter's simulated parallel cycle count;
+	// zero when the compile backend ran.
+	SimCycles int64 `json:"sim_cycles,omitempty"`
+	// Backend echoes which engine actually executed the program.
+	Backend string `json:"backend"`
+}
+
 // EditRequest replaces (or with Delete, removes) a statement by ID.
 type EditRequest struct {
 	Stmt   int    `json:"stmt"`
@@ -174,7 +199,10 @@ type PlanRequest struct {
 	TimeoutMs int  `json:"timeout_ms,omitempty"`
 	TopPlans  int  `json:"top_plans,omitempty"`
 	NoInterp  bool `json:"no_interp,omitempty"`
-	Async     bool `json:"async,omitempty"`
+	// Compiled adds real wall-clock speedups from the pedc compile
+	// backend to interp-validated finalists.
+	Compiled bool `json:"compiled,omitempty"`
+	Async    bool `json:"async,omitempty"`
 }
 
 // PlanResponse is the state of a session's latest plan search. Status

@@ -344,6 +344,18 @@ func (c *Client) Cmd(ctx context.Context, id, line string) (CmdResponse, error) 
 	return resp, err
 }
 
+// Run executes the session's program on the daemon through the
+// unified execution API. Execution is non-idempotent from the
+// transport's point of view — a lost response may mean the program
+// already ran — so transport errors are never retried here (POST is
+// outside do's idempotent set); only explicit server backpressure
+// (429/503 with Retry-After) is.
+func (c *Client) Run(ctx context.Context, id string, req RunRequest) (RunResponse, error) {
+	var resp RunResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/run", req, &resp)
+	return resp, err
+}
+
 // Plan starts a speculative plan search (async when req.Async) or
 // returns the cached result for an identical source and budget.
 func (c *Client) Plan(ctx context.Context, id string, req PlanRequest) (PlanResponse, error) {

@@ -113,6 +113,7 @@ func (req PlanRequest) options(cfg *planConfig) planner.Options {
 		MaxWorlds: req.MaxWorlds,
 		TopPlans:  req.TopPlans,
 		Interp:    !req.NoInterp,
+		Compiled:  req.Compiled,
 	}
 	if req.TimeoutMs > 0 {
 		opts.Timeout = time.Duration(req.TimeoutMs) * time.Millisecond
@@ -127,9 +128,9 @@ func (req PlanRequest) options(cfg *planConfig) planner.Options {
 // search is deterministic up to its deadline, which is part of the
 // key).
 func planKey(src, unit string, o planner.Options) string {
-	return fmt.Sprintf("%s|%s|b%d.d%d.w%d.t%d.ms%d.i%v",
+	return fmt.Sprintf("%s|%s|b%d.d%d.w%d.t%d.ms%d.i%v.c%v",
 		planner.SrcHash(src), unit, o.BeamWidth, o.MaxDepth, o.MaxWorlds,
-		o.TopPlans, o.Timeout/time.Millisecond, o.Interp)
+		o.TopPlans, o.Timeout/time.Millisecond, o.Interp, o.Compiled)
 }
 
 // planSnapshot borrows the actor for the instant it takes to print
@@ -362,6 +363,9 @@ func planReqFromArgs(args []string) (PlanRequest, error) {
 		switch a {
 		case "nointerp":
 			req.NoInterp = true
+			continue
+		case "compiled":
+			req.Compiled = true
 			continue
 		case "async":
 			req.Async = true

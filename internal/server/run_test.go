@@ -1,0 +1,85 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRunEndpoint drives POST /v1/sessions/{id}/run through the
+// client: both backends must produce byte-identical output, the
+// interpreter must report simulated cycles, and the compile backend
+// real wall time.
+func TestRunEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compile backend builds a binary; skipped in -short mode")
+	}
+	m := newTestManager(t, Config{CacheSize: 8})
+	ts := httptest.NewServer(New(m))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	open, err := c.Open(bg, OpenRequest{Workload: "arc3d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ir, err := c.Run(bg, open.ID, RunRequest{Backend: "interp", Workers: 2})
+	if err != nil {
+		t.Fatalf("interp run: %v", err)
+	}
+	if ir.Backend != "interp" || ir.Output == "" || ir.SimCycles <= 0 {
+		t.Fatalf("interp response = %+v", ir)
+	}
+
+	cr, err := c.Run(bg, open.ID, RunRequest{Backend: "compile", Workers: 2})
+	if err != nil {
+		t.Fatalf("compile run: %v", err)
+	}
+	if cr.Backend != "compile" || cr.SimCycles != 0 {
+		t.Fatalf("compile response = %+v", cr)
+	}
+	if cr.Output != ir.Output {
+		t.Fatalf("backends disagree\ncompile:\n%s\ninterp:\n%s", cr.Output, ir.Output)
+	}
+
+	// Default backend is the interpreter.
+	dr, err := c.Run(bg, open.ID, RunRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Backend != "interp" {
+		t.Fatalf("default backend = %q", dr.Backend)
+	}
+
+	if _, err := c.Run(bg, open.ID, RunRequest{Backend: "paravm"}); err == nil {
+		t.Fatal("unknown backend should fail")
+	}
+}
+
+// TestRunDisabledBackend checks the operator switch: a disabled
+// backend answers 501 with the standard error envelope before any
+// session work happens, while other backends keep working.
+func TestRunDisabledBackend(t *testing.T) {
+	m := newTestManager(t, Config{CacheSize: 8})
+	ts := httptest.NewServer(NewWith(m, Options{DisabledBackends: []string{"compile"}}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	open, err := c.Open(bg, OpenRequest{Workload: "onedim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(bg, open.ID, RunRequest{Backend: "compile"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotImplemented {
+		t.Fatalf("want 501 APIError, got %v", err)
+	}
+	if apiErr.RequestID == "" {
+		t.Fatal("error envelope should echo the request ID")
+	}
+	if _, err := c.Run(bg, open.ID, RunRequest{Backend: "interp"}); err != nil {
+		t.Fatalf("interp should stay enabled: %v", err)
+	}
+}

@@ -42,6 +42,9 @@ type Options struct {
 	// Ready, when set, backs GET /readyz on the serving mux (the ops
 	// listener mounts the same flag). Nil means always ready.
 	Ready *Readiness
+	// DisabledBackends lists execution backends POST /run refuses
+	// with 501 (e.g. "compile" on hosts without a Go toolchain).
+	DisabledBackends []string
 }
 
 // importMaxBytes caps journal streams on POST /v1/sessions/import.
@@ -65,6 +68,9 @@ const importMaxBytes = 64 << 20
 //	POST   /v1/sessions/{id}/transform   check/apply a transformation
 //	POST   /v1/sessions/{id}/edit        edit or delete a statement
 //	POST   /v1/sessions/{id}/undo        undo the last change
+//	POST   /v1/sessions/{id}/run         execute the program (backend
+//	                                     interp|compile; 501 when the
+//	                                     backend is disabled by flag)
 //	POST   /v1/sessions/{id}/plan        speculative plan search (202
 //	                                     when async; 409 one-at-a-time;
 //	                                     429 daemon at plan capacity)
@@ -80,11 +86,12 @@ const importMaxBytes = 64 << 20
 // writeOpError) so clients can tell a quarantined session (500) from
 // a closed one (410), backpressure (429/503) from timeout (504).
 type Server struct {
-	mgr     *Manager
-	mux     *http.ServeMux
-	opts    Options
-	metrics *Metrics
-	routes  []string
+	mgr      *Manager
+	mux      *http.ServeMux
+	opts     Options
+	metrics  *Metrics
+	routes   []string
+	disabled map[string]bool
 }
 
 // New wires the routes over a manager with default hardening limits.
@@ -101,7 +108,11 @@ func NewWith(mgr *Manager, opts Options) *Server {
 	if opts.Metrics == nil {
 		opts.Metrics = mgr.Metrics()
 	}
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), opts: opts, metrics: opts.Metrics}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), opts: opts, metrics: opts.Metrics,
+		disabled: map[string]bool{}}
+	for _, b := range opts.DisabledBackends {
+		s.disabled[strings.ToLower(strings.TrimSpace(b))] = true
+	}
 	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -128,6 +139,7 @@ func NewWith(mgr *Manager, opts Options) *Server {
 	s.handle("POST /v1/sessions/{id}/transform", s.session(s.handleTransform))
 	s.handle("POST /v1/sessions/{id}/edit", s.session(s.handleEdit))
 	s.handle("POST /v1/sessions/{id}/undo", s.session(s.handleUndo))
+	s.handle("POST /v1/sessions/{id}/run", s.session(s.handleRun))
 	s.handle("POST /v1/sessions/{id}/plan", s.session(s.handlePlan))
 	s.handle("GET /v1/sessions/{id}/plan", s.session(s.handlePlanStatus))
 	s.handle("POST /v1/sessions/{id}/apply-plan", s.session(s.handleApplyPlan))
@@ -431,6 +443,31 @@ func (s *Server) handleCmd(w http.ResponseWriter, r *http.Request, ss *Session) 
 		return
 	}
 	resp, err := ss.Cmd(r.Context(), req.Line)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRun executes the session's program through the unified
+// execution API. Backends the operator disabled by flag answer 501
+// before any session work happens.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, ss *Session) {
+	var req RunRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = "interp"
+	}
+	if s.disabled[backend] {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("backend %q is disabled on this server", backend))
+		return
+	}
+	resp, err := ss.Run(r.Context(), req)
 	if err != nil {
 		writeOpError(w, err)
 		return

@@ -18,6 +18,7 @@ import (
 	"parascope/internal/faultpoint"
 	"parascope/internal/repl"
 	"parascope/internal/view"
+	"parascope/internal/workloads"
 )
 
 // ErrSessionClosed is returned for requests against a session that
@@ -569,6 +570,43 @@ func (ss *Session) Cmd(ctx context.Context, line string) (CmdResponse, error) {
 		return CmdResponse{}, roErr
 	}
 	return resp, nil
+}
+
+// Run executes the session's program through the unified execution
+// API. Execution is a pure read — it never changes session state —
+// so it is not journaled and stays available on read-only sessions;
+// artifact-backed sessions materialize first because both backends
+// consume the live AST.
+func (ss *Session) Run(ctx context.Context, req RunRequest) (RunResponse, error) {
+	ereq := core.ExecRequest{
+		Backend: req.Backend,
+		Workers: req.Workers,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+	}
+	if w := workloads.ByName(strings.TrimSuffix(ss.path, ".f")); w != nil {
+		ereq.Input = w.Input
+	}
+	var resp RunResponse
+	var opErr error
+	err := ss.post(ctx, func() {
+		if opErr = ss.materialize(); opErr != nil {
+			return
+		}
+		var res core.ExecResult
+		if res, opErr = ss.live.Exec(ereq); opErr != nil {
+			return
+		}
+		resp = RunResponse{
+			Output:     res.Output,
+			WallMicros: res.Wall.Microseconds(),
+			SimCycles:  res.SimCycles,
+			Backend:    res.Backend,
+		}
+	}, true)
+	if err != nil {
+		return RunResponse{}, err
+	}
+	return resp, opErr
 }
 
 // Select switches unit and/or loop. Selection is session state that

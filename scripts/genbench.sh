@@ -1,7 +1,8 @@
 #!/bin/sh
 # Regenerate BENCH_pedd.json: run the daemon-facing benchmarks
 # (server throughput, analysis cache, speculative planner search,
-# edit reanalysis) and convert the results to JSON with cmd/benchjson.
+# edit reanalysis, compiled-vs-interp execution) and convert the
+# results to JSON with cmd/benchjson.
 # Run from the repo root:
 #
 #   sh scripts/genbench.sh            # quick numbers (1 iteration each)
@@ -12,7 +13,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_pedd.json}"
 
-go test -run '^$' -bench 'BenchmarkServerThroughput|BenchmarkAnalysisCache|BenchmarkPlannerSearch|BenchmarkEditReanalyze' \
+go test -run '^$' -bench 'BenchmarkServerThroughput|BenchmarkAnalysisCache|BenchmarkPlannerSearch|BenchmarkEditReanalyze|BenchmarkCompiledVsInterp' \
 	-benchtime "$BENCHTIME" . |
 	tee /dev/stderr |
 	go run ./cmd/benchjson >"$OUT"
