@@ -426,7 +426,7 @@ func BenchmarkCompiledVsInterp(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	art, err := codegen.Build(f, b.TempDir())
+	art, err := codegen.Build(context.Background(), f, b.TempDir(), nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -447,7 +447,7 @@ func BenchmarkCompiledVsInterp(b *testing.B) {
 	})
 	b.Run("compiled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := codegen.Run(context.Background(), art, 1, nil)
+			res, err := codegen.Run(context.Background(), art, 1, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -16,7 +16,10 @@
 //	                                         flag parsing stops at positionals)
 //
 // Programs the generator cannot lower exactly are declined with a
-// reason and exit status 3 — pedc never approximates semantics.
+// reason and exit status 3 — pedc never approximates semantics. Runs
+// killed by the resource governor (wall timeout, output cap, RSS
+// watchdog) exit with status 4 so scripts can tell "the program
+// misbehaved" from "the toolchain broke".
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"parascope/internal/codegen"
+	"parascope/internal/execguard"
 	"parascope/internal/fortran"
 	"parascope/internal/workloads"
 )
@@ -43,7 +47,9 @@ func run() int {
 	workers := flag.Int("workers", 1, "DOALL worker goroutines (<=0 means GOMAXPROCS)")
 	cache := flag.String("cache", "", "build cache directory (empty = per-user default)")
 	inputStr := flag.String("input", "", "whitespace-separated READ input values (overrides workload input)")
-	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	timeout := flag.Duration("timeout", 0, "kill the run after this duration (0 = default 60s, negative = none)")
+	maxOut := flag.Int64("maxout", 0, "cap captured stdout bytes (0 = default 8MiB, negative = none)")
+	maxRSS := flag.Int64("maxrss", 0, "kill the run past this resident-set size in bytes (0 = default 1GiB, negative = off)")
 	flag.Parse()
 
 	var (
@@ -103,7 +109,13 @@ func run() int {
 		return 0
 	}
 
-	art, err := codegen.Build(file, *cache)
+	gov := execguard.New(execguard.Config{Limits: execguard.Limits{
+		Timeout:     *timeout,
+		OutputBytes: *maxOut,
+		RSSBytes:    *maxRSS,
+	}})
+	ctx := context.Background()
+	art, err := codegen.Build(ctx, file, *cache, gov)
 	if err != nil {
 		return report(err)
 	}
@@ -116,28 +128,26 @@ func run() int {
 		return 0
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	res, err := codegen.Run(ctx, art, *workers, input)
+	res, err := codegen.Run(ctx, art, *workers, input, gov)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pedc: %v\n", err)
-		return 1
+		return report(err)
 	}
 	fmt.Print(res.Output)
 	fmt.Fprintf(os.Stderr, "pedc: %s in %s (workers=%d)\n", file.Path, res.Wall.Round(time.Microsecond), *workers)
 	return 0
 }
 
-// report prints a build failure; declined programs get their own exit
-// status so scripts can tell "cannot lower" from "broken toolchain".
+// report prints a build or run failure; declined programs and
+// governor kills get their own exit statuses so scripts can tell
+// "cannot lower" (3) and "timed out / blew a resource cap" (4) from
+// "broken toolchain" (1).
 func report(err error) int {
 	fmt.Fprintf(os.Stderr, "pedc: %v\n", err)
-	if codegen.IsDeclined(err) {
+	switch {
+	case codegen.IsDeclined(err):
 		return 3
+	case execguard.IsKill(err):
+		return 4
 	}
 	return 1
 }

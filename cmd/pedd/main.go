@@ -75,6 +75,10 @@ func run() int {
 	planCache := flag.Int("plancache", 0, "plan result cache capacity in searches (0 = 32)")
 	faults := flag.String("faults", "", "chaos testing: arm fault injections, e.g. journal-append=delay:25ms,plan-fork=panic")
 	disableBackends := flag.String("disable-backends", "", "comma-separated execution backends POST /run refuses with 501 (e.g. compile)")
+	maxRuns := flag.Int("maxruns", 0, "concurrent program executions daemon-wide; excess runs get 429 (0 = 2x GOMAXPROCS, negative = unbounded)")
+	runTimeout := flag.Duration("runtimeout", 0, "default per-run wall budget before the governor kills it (0 = 60s, negative = none)")
+	maxRunOut := flag.Int64("maxrunout", 0, "per-run captured stdout cap in bytes (0 = 8MiB, negative = unbounded)")
+	maxRunRSS := flag.Int64("maxrunrss", 0, "kill compiled runs past this resident-set size in bytes (0 = 1GiB, negative = off)")
 	flag.Parse()
 
 	if err := faultpoint.ArmSpec(*faults); err != nil {
@@ -99,18 +103,22 @@ func run() int {
 
 	metrics := server.NewMetrics()
 	mgr := server.NewManager(server.Config{
-		TTL:           *ttl,
-		CacheSize:     *cacheSize,
-		Workers:       *workers,
-		MaxSessions:   *maxSessions,
-		QueueDepth:    *queueDepth,
-		DataDir:       *dataDir,
-		Fsync:         fsync,
-		SnapshotEvery: *snapEvery,
-		Metrics:       metrics,
-		PlanWorkers:   *planWorkers,
-		PlanTimeout:   *planTimeout,
-		PlanCacheSize: *planCache,
+		TTL:            *ttl,
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		MaxSessions:    *maxSessions,
+		QueueDepth:     *queueDepth,
+		DataDir:        *dataDir,
+		Fsync:          fsync,
+		SnapshotEvery:  *snapEvery,
+		Metrics:        metrics,
+		PlanWorkers:    *planWorkers,
+		PlanTimeout:    *planTimeout,
+		PlanCacheSize:  *planCache,
+		MaxRuns:        *maxRuns,
+		RunTimeout:     *runTimeout,
+		RunOutputBytes: *maxRunOut,
+		RunRSSBytes:    *maxRunRSS,
 	})
 	if *dataDir != "" {
 		st, err := mgr.Recover()

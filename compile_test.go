@@ -44,7 +44,7 @@ func TestCompiledMatchesInterp(t *testing.T) {
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
 			for label, file := range compiledVariants(t, w) {
-				art, err := codegen.Build(file, cache)
+				art, err := codegen.Build(context.Background(), file, cache, nil)
 				if err != nil {
 					t.Fatalf("%s: build: %v", label, err)
 				}
@@ -59,7 +59,7 @@ func TestCompiledMatchesInterp(t *testing.T) {
 						t.Fatalf("%s: interp: %v", name, err)
 					}
 					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-					got, err := codegen.Run(ctx, art, workers, w.Input)
+					got, err := codegen.Run(ctx, art, workers, w.Input, nil)
 					cancel()
 					if err != nil {
 						t.Fatalf("%s: compiled: %v", name, err)

@@ -1,19 +1,25 @@
 package codegen
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	_ "embed"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"parascope/internal/execguard"
+	"parascope/internal/faultpoint"
 	"parascope/internal/fortran"
 )
 
@@ -40,6 +46,25 @@ type RunResult struct {
 	Wall   time.Duration // wall-clock time of the process
 }
 
+// manifest records what a cache entry should contain; it is written
+// into the staging dir before the atomic rename, so any entry missing
+// or mismatching it is by definition corrupt and never trusted.
+type manifest struct {
+	SHA256 string `json:"sha256"` // hex digest of the prog binary
+	Size   int64  `json:"size"`   // byte length of the prog binary
+	Gen    string `json:"gen"`    // generator version that built it
+}
+
+const manifestName = "manifest.json"
+
+// buildFlight dedups concurrent cold builds: N requests for the same
+// uncached program trigger exactly one go build.
+var buildFlight execguard.Group
+
+// janitorMu serializes cache sweeps so concurrent builds don't race
+// over the same eviction set.
+var janitorMu sync.Mutex
+
 // cacheRoot returns the directory compiled modules live under,
 // preferring the user cache dir and falling back to the system temp
 // directory. An explicit dir overrides both.
@@ -63,9 +88,13 @@ func SourceHash(f *fortran.File) string {
 }
 
 // Build lowers the program to Go and compiles it into the cache,
-// reusing a previously built binary when the source hash matches.
-// cacheDir may be empty to use the default location.
-func Build(f *fortran.File, cacheDir string) (*Artifact, error) {
+// reusing a previously built binary when the source hash matches AND
+// the entry's manifest checksum verifies — corrupt entries are
+// quarantined to <dir>.bad and transparently rebuilt. Concurrent
+// builds of the same program are deduplicated to one go build.
+// cacheDir may be empty to use the default location; g may be nil for
+// default limits and no telemetry.
+func Build(ctx context.Context, f *fortran.File, cacheDir string, g *execguard.Governor) (*Artifact, error) {
 	src, err := Generate(f)
 	if err != nil {
 		return nil, err
@@ -73,21 +102,107 @@ func Build(f *fortran.File, cacheDir string) (*Artifact, error) {
 	hash := SourceHash(f)
 	dir := filepath.Join(cacheRoot(cacheDir), hash)
 	bin := filepath.Join(dir, "prog")
-	art := &Artifact{Source: src, Dir: dir, Bin: bin, Hash: hash}
-	if fi, err := os.Stat(bin); err == nil && fi.Mode().IsRegular() {
-		art.Cached = true
+
+	v, err, shared := buildFlight.Do(dir, func() (any, error) {
+		art := &Artifact{Source: src, Dir: dir, Bin: bin, Hash: hash}
+		if verifyEntry(dir, bin, hash, g) {
+			art.Cached = true
+			g.Event("build_cache_hit", "")
+			// Refresh recency so the janitor's LRU keeps hot entries.
+			now := time.Now()
+			_ = os.Chtimes(dir, now, now)
+			return art, nil
+		}
+		start := time.Now()
+		if err := compile(ctx, src, dir, bin, g); err != nil {
+			g.Event("build_fail", "")
+			return nil, err
+		}
+		g.Event("build", "")
+		g.Timing("build", "", time.Since(start))
+		janitor(filepath.Dir(dir), g)
 		return art, nil
-	}
-	if err := compile(src, dir, bin); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	return art, nil
+	if shared {
+		g.Event("build_dedup", "")
+	}
+	return v.(*Artifact), nil
 }
 
-// compile writes the module into a staging directory, runs go build,
-// and atomically renames the result into place so concurrent builds
-// of the same program never observe a half-written module.
-func compile(src, dir, bin string) error {
+// verifyEntry reports whether the cache entry at dir holds a binary
+// matching its manifest. Any failure — missing manifest (legacy or
+// half-written entry), size or checksum mismatch, injected fault —
+// quarantines the entry and returns false so the caller rebuilds.
+func verifyEntry(dir, bin, hash string, g *execguard.Governor) bool {
+	fi, err := os.Stat(bin)
+	if err != nil || !fi.Mode().IsRegular() {
+		return false
+	}
+	ok := func() bool {
+		if err := faultpoint.Hit(faultpoint.CacheVerify, hash); err != nil {
+			return false
+		}
+		data, err := os.ReadFile(filepath.Join(dir, manifestName))
+		if err != nil {
+			return false
+		}
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.Gen != genVersion {
+			return false
+		}
+		if fi.Size() != m.Size {
+			return false
+		}
+		sum, err := fileSHA256(bin)
+		if err != nil {
+			return false
+		}
+		return sum == m.SHA256
+	}()
+	if !ok {
+		quarantine(dir, g)
+	}
+	return ok
+}
+
+// quarantine moves a corrupt cache entry aside to <dir>.bad so it is
+// never executed again but remains inspectable until the janitor
+// sweeps it; if the rename fails the entry is deleted outright.
+func quarantine(dir string, g *execguard.Governor) {
+	g.Event("build_verify_fail", "")
+	bad := dir + ".bad"
+	_ = os.RemoveAll(bad)
+	if err := os.Rename(dir, bad); err != nil {
+		_ = os.RemoveAll(dir)
+	}
+}
+
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// compile writes the module into a staging directory, runs go build
+// under supervision (its own timeout, group kill — a hung toolchain
+// cannot wedge the daemon), writes the manifest, and atomically
+// renames the result into place so concurrent builds of the same
+// program never observe a half-written module.
+func compile(ctx context.Context, src, dir, bin string, g *execguard.Governor) error {
+	hash := filepath.Base(dir)
+	if err := faultpoint.Hit(faultpoint.ExecBuild, hash); err != nil {
+		return fmt.Errorf("codegen: go build failed: %w", err)
+	}
 	root := filepath.Dir(dir)
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return fmt.Errorf("codegen: create cache: %w", err)
@@ -116,11 +231,36 @@ func compile(src, dir, bin string) error {
 	cmd := exec.Command("go", "build", "-o", "prog", ".")
 	cmd.Dir = stage
 	cmd.Env = append(os.Environ(), "GOWORK=off", "GOPROXY=off", "GOFLAGS=-mod=mod")
-	var errb bytes.Buffer
-	cmd.Stderr = &errb
-	if err := cmd.Run(); err != nil {
-		return fmt.Errorf("codegen: go build failed: %v\n%s", err, errb.String())
+	// The build governor: its own wall budget, no output caps (build
+	// diagnostics must survive whole), no RSS watchdog for the
+	// toolchain.
+	bg := g.With(execguard.Limits{Timeout: g.BuildTimeout(), OutputBytes: -1, StderrBytes: -1, RSSBytes: -1})
+	res, err := execguard.Supervise(ctx, bg, cmd)
+	if err != nil {
+		if errors.Is(err, execguard.ErrTimeout) || ctx.Err() != nil {
+			return fmt.Errorf("codegen: go build: %w", err)
+		}
+		stderr := ""
+		if res != nil {
+			stderr = res.Stderr
+		}
+		return fmt.Errorf("codegen: go build failed: %v\n%s", err, stderr)
 	}
+
+	stagedBin := filepath.Join(stage, "prog")
+	sum, err := fileSHA256(stagedBin)
+	if err != nil {
+		return fmt.Errorf("codegen: hash binary: %w", err)
+	}
+	fi, err := os.Stat(stagedBin)
+	if err != nil {
+		return fmt.Errorf("codegen: stat binary: %w", err)
+	}
+	mdata, _ := json.Marshal(manifest{SHA256: sum, Size: fi.Size(), Gen: genVersion})
+	if err := os.WriteFile(filepath.Join(stage, manifestName), mdata, 0o644); err != nil {
+		return fmt.Errorf("codegen: write manifest: %w", err)
+	}
+
 	if err := os.Rename(stage, dir); err != nil {
 		// A concurrent build won the rename; its binary is equivalent.
 		if _, statErr := os.Stat(bin); statErr == nil {
@@ -129,6 +269,63 @@ func compile(src, dir, bin string) error {
 		return fmt.Errorf("codegen: install build: %w", err)
 	}
 	return nil
+}
+
+// Janitor retention windows: staging dirs a build abandoned (crash
+// mid-compile) and quarantined entries are garbage after these ages.
+const (
+	staleStageAge = time.Hour
+	staleBadAge   = 24 * time.Hour
+)
+
+// janitor sweeps the cache root: stale build-* staging dirs, old *.bad
+// quarantine dirs, and LRU-evicts verified entries beyond the
+// governor's cache bound. It runs after cold builds — the only time
+// the cache grows.
+func janitor(root string, g *execguard.Governor) {
+	janitorMu.Lock()
+	defer janitorMu.Unlock()
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	type cached struct {
+		path  string
+		mtime time.Time
+	}
+	var live []cached
+	now := time.Now()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		p := filepath.Join(root, e.Name())
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(e.Name(), "build-"):
+			if now.Sub(fi.ModTime()) > staleStageAge {
+				_ = os.RemoveAll(p)
+			}
+		case strings.HasSuffix(e.Name(), ".bad"):
+			if now.Sub(fi.ModTime()) > staleBadAge {
+				_ = os.RemoveAll(p)
+			}
+		default:
+			live = append(live, cached{path: p, mtime: fi.ModTime()})
+		}
+	}
+	max := g.CacheEntries()
+	if len(live) <= max {
+		return
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].mtime.Before(live[j].mtime) })
+	for _, c := range live[:len(live)-max] {
+		_ = os.RemoveAll(c.path)
+		g.Event("build_janitor_evict", "")
+	}
 }
 
 // FormatInput renders READ input values in the exact token form the
@@ -145,35 +342,28 @@ func FormatInput(vals []float64) string {
 }
 
 // Run executes a built artifact with the given DOALL worker count and
-// READ input, capturing stdout and wall-clock time. A non-zero exit
-// is surfaced as an error carrying the program's stderr.
-func Run(ctx context.Context, art *Artifact, workers int, input []float64) (*RunResult, error) {
-	cmd := exec.CommandContext(ctx, art.Bin, "-workers="+strconv.Itoa(workers))
+// READ input under the governor's supervision: process-group spawn,
+// wall timeout, output caps, RSS watchdog. Kills surface as the
+// guard's typed errors (execguard.ErrTimeout etc.); a program that
+// exits non-zero on its own surfaces its stderr.
+func Run(ctx context.Context, art *Artifact, workers int, input []float64, g *execguard.Governor) (*RunResult, error) {
+	if err := faultpoint.Hit(faultpoint.ExecRun, art.Hash); err != nil {
+		return nil, fmt.Errorf("codegen: run: %w", err)
+	}
+	cmd := exec.Command(art.Bin, "-workers="+strconv.Itoa(workers))
 	cmd.Stdin = strings.NewReader(FormatInput(input))
-	var outb, errb bytes.Buffer
-	cmd.Stdout = &outb
-	cmd.Stderr = &errb
-	start := time.Now()
-	err := cmd.Run()
-	wall := time.Since(start)
-	if ctx.Err() != nil {
-		return nil, fmt.Errorf("codegen: run timed out: %w", ctx.Err())
-	}
+	res, err := execguard.Supervise(ctx, g, cmd)
 	if err != nil {
-		msg := strings.TrimSpace(errb.String())
-		if msg == "" {
-			msg = err.Error()
-		}
-		return nil, fmt.Errorf("codegen: %s", msg)
+		return nil, fmt.Errorf("codegen: %w", err)
 	}
-	return &RunResult{Output: outb.String(), Wall: wall}, nil
+	return &RunResult{Output: res.Stdout, Wall: res.Wall}, nil
 }
 
 // Exec builds (or reuses) the compiled form and runs it once.
-func Exec(ctx context.Context, f *fortran.File, workers int, input []float64, cacheDir string) (*RunResult, error) {
-	art, err := Build(f, cacheDir)
+func Exec(ctx context.Context, f *fortran.File, workers int, input []float64, cacheDir string, g *execguard.Governor) (*RunResult, error) {
+	art, err := Build(ctx, f, cacheDir, g)
 	if err != nil {
 		return nil, err
 	}
-	return Run(ctx, art, workers, input)
+	return Run(ctx, art, workers, input, g)
 }

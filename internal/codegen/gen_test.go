@@ -36,7 +36,7 @@ func runBoth(t *testing.T, cache, src string, workers int, input []float64) stri
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	got, err := Exec(ctx, f, workers, input, cache)
+	got, err := Exec(ctx, f, workers, input, cache, nil)
 	if err != nil {
 		t.Fatalf("compiled: %v", err)
 	}
@@ -198,14 +198,14 @@ func TestBuildCache(t *testing.T) {
       end
 `
 	f := parse(t, src)
-	a1, err := Build(f, cache)
+	a1, err := Build(context.Background(), f, cache, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a1.Cached {
 		t.Fatal("first build reported cached")
 	}
-	a2, err := Build(parse(t, src), cache)
+	a2, err := Build(context.Background(), parse(t, src), cache, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestRuntimeErrorPropagates(t *testing.T) {
 `)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	_, err := Exec(ctx, f, 1, nil, cache)
+	_, err := Exec(ctx, f, 1, nil, cache, nil)
 	if err == nil || !strings.Contains(err.Error(), "division by zero") {
 		t.Fatalf("want division-by-zero error, got %v", err)
 	}

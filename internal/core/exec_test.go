@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"parascope/internal/execguard"
+)
+
+const loopSrc = `
+      program p
+      integer i
+      i = 0
+   10 i = i + 1
+      goto 10
+      end
+`
+
+const bombSrc = `
+      program p
+   10 print *, 123456789
+      goto 10
+      end
+`
+
+const powSrc = `
+      program p
+      integer i, j, k
+      i = 2
+      j = 3
+      k = i ** j
+      print *, k
+      end
+`
+
+func openExec(t *testing.T, src string) *Session {
+	t.Helper()
+	s, err := Open("t.f", src)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return s
+}
+
+// TestInterpTimeoutLeaksNoGoroutines is satellite 1's regression test:
+// before the cooperative cancel, every timed-out interpreter run left
+// its goroutine spinning until StmtLimit. Ten timed-out runs must
+// leave the goroutine count where it started.
+func TestInterpTimeoutLeaksNoGoroutines(t *testing.T) {
+	s := openExec(t, loopSrc)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		res, err := s.Exec(context.Background(), ExecRequest{Timeout: 50 * time.Millisecond})
+		if !errors.Is(err, execguard.ErrTimeout) {
+			t.Fatalf("run %d: want ErrTimeout, got %v", i, err)
+		}
+		if res.Backend != BackendInterp {
+			t.Fatalf("run %d: backend = %q", i, res.Backend)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after 10 timed-out runs",
+				before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestInterpOutputBombCapped(t *testing.T) {
+	s := openExec(t, bombSrc)
+	gov := execguard.New(execguard.Config{
+		Limits: execguard.Limits{OutputBytes: 4096, Timeout: 30 * time.Second},
+	})
+	res, err := s.Exec(context.Background(), ExecRequest{Gov: gov})
+	if !errors.Is(err, execguard.ErrOutputLimit) {
+		t.Fatalf("want ErrOutputLimit, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "output truncated after") {
+		t.Fatalf("error %q does not name the truncation", err)
+	}
+	if len(res.Output) > 4096 {
+		t.Fatalf("kept %d bytes past the 4096 cap", len(res.Output))
+	}
+	if len(res.Output) == 0 {
+		t.Fatal("truncated prefix was discarded")
+	}
+}
+
+func TestExecCtxCancelStopsInterp(t *testing.T) {
+	s := openExec(t, loopSrc)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := s.Exec(ctx, ExecRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want wrapped DeadlineExceeded, got %v", err)
+	}
+	if execguard.IsKill(err) {
+		t.Fatalf("ctx expiry must stay distinguishable from governor kills: %v", err)
+	}
+}
+
+// TestExecFallbackOnDecline: a program the code generator declines
+// (non-constant exponent) degrades to the interpreter when Fallback is
+// set, with the decline reason surfaced — and still fails typed
+// without it.
+func TestExecFallbackOnDecline(t *testing.T) {
+	s := openExec(t, powSrc)
+	res, err := s.Exec(context.Background(), ExecRequest{Backend: BackendCompile, Fallback: true})
+	if err != nil {
+		t.Fatalf("fallback run failed: %v", err)
+	}
+	if res.Backend != BackendInterp {
+		t.Fatalf("backend = %q, want interp after fallback", res.Backend)
+	}
+	if !strings.Contains(res.FallbackReason, "exponent") {
+		t.Fatalf("FallbackReason = %q, want the decline reason", res.FallbackReason)
+	}
+	if !strings.Contains(res.Output, "8") {
+		t.Fatalf("fallback output = %q, want 2**3", res.Output)
+	}
+
+	_, err = s.Exec(context.Background(), ExecRequest{Backend: BackendCompile})
+	if err == nil || res.FallbackReason == "" {
+		t.Fatal("decline without Fallback must fail")
+	}
+}
+
+func TestExecBusy(t *testing.T) {
+	s := openExec(t, powSrc)
+	gov := execguard.New(execguard.Config{MaxRuns: 1})
+	release, err := gov.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, err = s.Exec(context.Background(), ExecRequest{Gov: gov})
+	if !errors.Is(err, execguard.ErrBusy) {
+		t.Fatalf("want ErrBusy with every slot held, got %v", err)
+	}
+	release()
+	if _, err := s.Exec(context.Background(), ExecRequest{Gov: gov}); err != nil {
+		t.Fatalf("run after release: %v", err)
+	}
+}
+
+func TestParseExecRequestFallback(t *testing.T) {
+	req, err := ParseExecRequest([]string{"4", "backend=compile", "fallback"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Workers != 4 || req.Backend != BackendCompile || !req.Fallback {
+		t.Fatalf("parsed %+v", req)
+	}
+	if _, err := ParseExecRequest([]string{"fallback", "bogus"}); err == nil {
+		t.Fatal("want usage error for unknown token")
+	}
+}

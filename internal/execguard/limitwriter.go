@@ -1,0 +1,78 @@
+package execguard
+
+import (
+	"bytes"
+	"sync"
+)
+
+// LimitWriter captures at most a fixed number of bytes, then trips: it
+// keeps the prefix, records an OutputLimitError, and closes a channel
+// the supervisor selects on so the producing process can be killed
+// instead of blocking forever on a full pipe. It is safe for
+// concurrent writers (os/exec copier plus interpreter DOALL workers).
+// A cap of 0 means unbounded.
+type LimitWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	limit int64
+	err   error
+	trip  chan struct{}
+}
+
+// NewLimitWriter caps captured output at limit bytes (0 = unbounded).
+func NewLimitWriter(limit int64) *LimitWriter {
+	return &LimitWriter{limit: limit, trip: make(chan struct{})}
+}
+
+// Write appends p up to the cap. The first write that crosses the cap
+// stores the truncated prefix, closes the trip channel, and — like
+// every later write — returns an OutputLimitError so in-process
+// producers (the interpreter) stop at the next write.
+func (w *LimitWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.limit <= 0 || int64(w.buf.Len())+int64(len(p)) <= w.limit {
+		return w.buf.Write(p)
+	}
+	keep := w.limit - int64(w.buf.Len())
+	if keep > 0 {
+		w.buf.Write(p[:keep])
+	}
+	w.err = OutputLimitError(w.limit)
+	close(w.trip)
+	return 0, w.err
+}
+
+// Tripped reports whether the cap was hit.
+func (w *LimitWriter) Tripped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err != nil
+}
+
+// Err returns the sticky OutputLimitError, or nil.
+func (w *LimitWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// TripC is closed the moment the cap is crossed.
+func (w *LimitWriter) TripC() <-chan struct{} { return w.trip }
+
+// String returns the captured (possibly truncated) output.
+func (w *LimitWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// Len returns the number of captured bytes.
+func (w *LimitWriter) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Len()
+}

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package execguard
+
+import (
+	"os"
+	"os/exec"
+)
+
+// Non-unix platforms have no process groups; the leader alone is
+// killed and signal classification degrades to "not signalled".
+func setpgid(cmd *exec.Cmd) {}
+
+func killGroup(pid int) {
+	if p, err := os.FindProcess(pid); err == nil {
+		_ = p.Kill()
+	}
+}
+
+func wasSignaled(err error) bool { return false }
+
+// GroupAlive is best-effort off-unix.
+func GroupAlive(pid int) bool { return false }

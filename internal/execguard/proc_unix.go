@@ -1,0 +1,41 @@
+//go:build unix
+
+package execguard
+
+import (
+	"errors"
+	"os/exec"
+	"syscall"
+)
+
+// setpgid puts the child in its own process group so killGroup can
+// reap the whole DOALL fan-out, not just the leader.
+func setpgid(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Setpgid = true
+}
+
+// killGroup SIGKILLs the child's entire process group.
+func killGroup(pid int) {
+	_ = syscall.Kill(-pid, syscall.SIGKILL)
+}
+
+// wasSignaled reports whether err is an exit caused by a signal — how
+// Supervise tells "we killed it" from "it exited non-zero on its own".
+func wasSignaled(err error) bool {
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		return false
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	return ok && ws.Signaled()
+}
+
+// GroupAlive reports whether any process in pid's group still exists —
+// test hook for the no-orphans guarantee.
+func GroupAlive(pid int) bool {
+	err := syscall.Kill(-pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

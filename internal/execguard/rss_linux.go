@@ -1,0 +1,33 @@
+//go:build linux
+
+package execguard
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// readRSS returns pid's resident set in bytes from /proc/<pid>/status
+// (VmRSS line), or 0 if the process is gone or unreadable. Reading
+// status (not statm) keeps this one small read with no page-size math
+// beyond the kB unit the kernel reports.
+func readRSS(pid int) int64 {
+	data, err := os.ReadFile("/proc/" + strconv.Itoa(pid) + "/status")
+	if err != nil {
+		return 0
+	}
+	i := bytes.Index(data, []byte("VmRSS:"))
+	if i < 0 {
+		return 0
+	}
+	fields := bytes.Fields(data[i+len("VmRSS:"):])
+	if len(fields) < 1 {
+		return 0
+	}
+	kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return kb << 10
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package execguard
+
+// readRSS has no portable implementation off Linux; the watchdog never
+// fires and GOMEMLIMIT remains the only memory bound.
+func readRSS(pid int) int64 { return 0 }

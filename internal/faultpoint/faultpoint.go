@@ -63,6 +63,17 @@ const (
 	// stream mid-record — the target must reject it whole and the
 	// source must stay authoritative.
 	MigrateStream = "migrate-stream"
+	// ExecBuild fires before a cold go build of a generated program
+	// (detail: the cache hash). An Err fault models a broken toolchain;
+	// with Fallback set the run degrades to the interpreter.
+	ExecBuild = "exec-build"
+	// ExecRun fires before a compiled binary is spawned (detail: the
+	// cache hash).
+	ExecRun = "exec-run"
+	// CacheVerify fires before a cached compiled binary is checksummed
+	// against its manifest (detail: the cache hash). An Err fault
+	// models a corrupt entry: it is quarantined and rebuilt.
+	CacheVerify = "cache-verify"
 )
 
 // Fault describes the behavior injected when an armed site is hit.

@@ -40,6 +40,13 @@ type Machine struct {
 	commons map[string]*cell
 	commonA map[string]*array
 	mu      sync.Mutex
+
+	// cancelFlag is set by Cancel; checked on the statement-flush path
+	// and per loop iteration so even statement-free spins (empty WHILE
+	// bodies, tight backward gotos) observe it promptly.
+	cancelFlag atomic.Bool
+	cancelMu   sync.Mutex
+	cancelErr  error
 }
 
 // New creates a machine for f.
@@ -49,6 +56,32 @@ func New(f *fortran.File) *Machine {
 
 // StmtsExecuted reports how many statements ran.
 func (m *Machine) StmtsExecuted() int64 { return atomic.LoadInt64(&m.stmts) }
+
+// Cancel asks a running machine to stop with cause at its next
+// cancellation check (every loop iteration and statement-count flush).
+// Safe to call from any goroutine; the first cause wins.
+func (m *Machine) Cancel(cause error) {
+	if cause == nil {
+		cause = fmt.Errorf("interp: run cancelled")
+	}
+	m.cancelMu.Lock()
+	if m.cancelErr == nil {
+		m.cancelErr = cause
+	}
+	m.cancelMu.Unlock()
+	m.cancelFlag.Store(true)
+}
+
+// cancelled returns the Cancel cause once set; the fast path is one
+// atomic load so it is cheap enough for per-iteration checks.
+func (m *Machine) cancelled() error {
+	if !m.cancelFlag.Load() {
+		return nil
+	}
+	m.cancelMu.Lock()
+	defer m.cancelMu.Unlock()
+	return m.cancelErr
+}
 
 // signal tells the statement walker how control left a statement.
 type signal int
@@ -82,6 +115,9 @@ type frame struct {
 // flushStmts publishes the frame's batched statement count and
 // enforces the global limit.
 func (f *frame) flushStmts() error {
+	if err := f.m.cancelled(); err != nil {
+		return err
+	}
 	if f.localStmts == 0 {
 		return nil
 	}
@@ -311,6 +347,9 @@ func (f *frame) exec(s fortran.Stmt) (signal, error) {
 		return f.execDo(st)
 	case *fortran.WhileStmt:
 		for {
+			if err := f.m.cancelled(); err != nil {
+				return sigNormal, err
+			}
 			cond, err := f.eval(st.Cond)
 			if err != nil {
 				return sigNormal, err
@@ -352,7 +391,10 @@ func (f *frame) exec(s fortran.Stmt) (signal, error) {
 			}
 			parts = append(parts, v.String())
 		}
-		io.WriteString(f.m.Out, runfmt.Line(parts))
+		if _, err := io.WriteString(f.m.Out, runfmt.Line(parts)); err != nil {
+			// A tripped output cap surfaces here and stops the run.
+			return sigNormal, err
+		}
 		return sigNormal, nil
 	case *fortran.ReadStmt:
 		for _, it := range st.Items {
@@ -466,6 +508,9 @@ func (f *frame) execDo(st *fortran.DoStmt) (signal, error) {
 	}
 	v := lo
 	for n := int64(0); n < trip; n++ {
+		if err := f.m.cancelled(); err != nil {
+			return sigNormal, err
+		}
 		ivar.v = IntVal(v)
 		sig, err := f.execBody(st.Body)
 		if err != nil {
@@ -563,6 +608,10 @@ func (f *frame) execDoall(st *fortran.DoStmt, lo, step, trip int64) (signal, err
 			}
 			// Block-cyclic assignment of iterations.
 			for n := int64(w); n < trip; n += int64(workers) {
+				if err := f.m.cancelled(); err != nil {
+					errs[w] = err
+					return
+				}
 				wf.scalars[st.Var].v = IntVal(lo + n*step)
 				sig, err := wf.execBody(st.Body)
 				if err != nil {

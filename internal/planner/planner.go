@@ -36,6 +36,7 @@ import (
 	"parascope/internal/codegen"
 	"parascope/internal/core"
 	"parascope/internal/dep"
+	"parascope/internal/execguard"
 	"parascope/internal/faultpoint"
 	"parascope/internal/fortran"
 	"parascope/internal/interp"
@@ -89,6 +90,9 @@ type Options struct {
 	// CompileCache overrides the pedc build cache directory (tests);
 	// empty means the per-user default.
 	CompileCache string
+	// Gov supervises compiled scoring runs (build timeout, output
+	// caps, group kill); nil means default limits.
+	Gov *execguard.Governor
 }
 
 func (o Options) withDefaults() Options {
@@ -512,10 +516,10 @@ func (s *searcher) rankPlans(base *world, finals []*world) []Plan {
 	// ranking untouched.
 	if s.opts.Compiled && len(finals) > 0 {
 		ctx := context.Background()
-		baseRes, err := codegen.Exec(ctx, base.sess.File, s.opts.InterpWorkers, input, s.opts.CompileCache)
+		baseRes, err := codegen.Exec(ctx, base.sess.File, s.opts.InterpWorkers, input, s.opts.CompileCache, s.opts.Gov)
 		if err == nil && baseRes.Wall > 0 {
 			for _, w := range finals {
-				res, err := codegen.Exec(ctx, w.sess.File, s.opts.InterpWorkers, input, s.opts.CompileCache)
+				res, err := codegen.Exec(ctx, w.sess.File, s.opts.InterpWorkers, input, s.opts.CompileCache, s.opts.Gov)
 				if err != nil || res.Wall <= 0 {
 					continue
 				}

@@ -236,11 +236,14 @@ func (r *REPL) Execute(line string) error {
 		if w := workloads.ByName(strings.TrimSuffix(s.File.Path, ".f")); w != nil {
 			req.Input = w.Input
 		}
-		res, err := s.Exec(req)
+		res, err := s.Exec(context.Background(), req)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(r.Out, res.Output)
+		if res.FallbackReason != "" {
+			fmt.Fprintf(r.Out, "[fell back to interpreter: %s]\n", res.FallbackReason)
+		}
 		if res.Backend == core.BackendCompile {
 			fmt.Fprintf(r.Out, "[compiled: %s]\n", res.Wall.Round(time.Microsecond))
 		}
@@ -488,6 +491,7 @@ const helpText = `commands:
   apply-plan [n]                         accept plan n (default 1)
   set <analysis> on|off                  toggle sections constants ranges
                                          inputdeps interproc (ablations)
-  run [workers] [backend=interp|compile] execute the program
+  run [workers] [backend=interp|compile] [fallback] execute the program
+                                  (fallback: degrade compile declines to interp)
   history | save | quit
 `

@@ -158,9 +158,13 @@ type RunRequest struct {
 	Backend string `json:"backend,omitempty"`
 	// Workers bounds DOALL fan-out; values below one mean one.
 	Workers int `json:"workers,omitempty"`
-	// TimeoutMs aborts the run after this many milliseconds; zero
-	// leaves only the server's per-request deadline.
+	// TimeoutMs kills the run after this many milliseconds; zero
+	// means the daemon's governed default (60s unless -runtimeout).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Fallback degrades a compile decline or build failure to the
+	// interpreter instead of failing; the reason comes back in
+	// RunResponse.Fallback.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // RunResponse carries one execution's captured output and timing.
@@ -173,6 +177,9 @@ type RunResponse struct {
 	SimCycles int64 `json:"sim_cycles,omitempty"`
 	// Backend echoes which engine actually executed the program.
 	Backend string `json:"backend"`
+	// Fallback carries the compile decline/build failure that rerouted
+	// this run to the interpreter; empty when the requested backend ran.
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // EditRequest replaces (or with Delete, removes) a statement by ID.

@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"parascope/internal/core"
 	"parascope/internal/dep"
+	"parascope/internal/execguard"
 	"parascope/internal/workloads"
 )
 
@@ -65,6 +67,22 @@ type Config struct {
 	PlanTimeout time.Duration
 	// PlanCacheSize bounds the plan result cache (entries; 0 = 32).
 	PlanCacheSize int
+	// MaxRuns bounds concurrent program executions across the daemon;
+	// past the cap runs are rejected with 429 + Retry-After. 0 means
+	// 2×GOMAXPROCS; negative means unbounded.
+	MaxRuns int
+	// RunTimeout is the default per-run wall budget (0 = 60s;
+	// negative = none). Requests may override per run via timeout_ms.
+	RunTimeout time.Duration
+	// RunOutputBytes caps captured stdout per run (0 = 8MiB;
+	// negative = unbounded).
+	RunOutputBytes int64
+	// RunRSSBytes kills compiled runs past this resident-set size
+	// (0 = 1GiB; negative = watchdog off).
+	RunRSSBytes int64
+	// RunCacheDir overrides the compile build cache (tests); empty
+	// means the per-user default.
+	RunCacheDir string
 }
 
 // Manager owns the live sessions and the analysis cache.
@@ -73,6 +91,7 @@ type Manager struct {
 	cache   *Cache
 	metrics *Metrics
 	planCfg *planConfig
+	gov     *execguard.Governor
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -107,14 +126,31 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics()
 	}
+	maxRuns := cfg.MaxRuns
+	switch {
+	case maxRuns == 0:
+		maxRuns = 2 * runtime.GOMAXPROCS(0)
+	case maxRuns < 0:
+		maxRuns = 0 // unbounded
+	}
 	m := &Manager{
-		cfg:      cfg,
-		metrics:  cfg.Metrics,
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		gov: execguard.New(execguard.Config{
+			MaxRuns: maxRuns,
+			Limits: execguard.Limits{
+				Timeout:     cfg.RunTimeout,
+				OutputBytes: cfg.RunOutputBytes,
+				RSSBytes:    cfg.RunRSSBytes,
+			},
+			Sink: cfg.Metrics,
+		}),
 		sessions: map[string]*Session{},
 		moved:    map[string]string{},
 		stop:     make(chan struct{}),
 		planCfg:  newPlanConfig(cfg),
 	}
+	m.planCfg.gov = m.gov
 	if cfg.CacheSize > 0 {
 		m.cache = NewCache(cfg.CacheSize)
 		m.cache.metrics = m.metrics
@@ -365,6 +401,8 @@ func (m *Manager) Open(ctx context.Context, req OpenRequest) (*Session, OpenResp
 	}
 	ss := newSession(id, path, source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
 	ss.planCfg = m.planCfg
+	ss.gov = m.gov
+	ss.runCache = m.cfg.RunCacheDir
 	m.sessions[id] = ss
 	m.reserved--
 	m.mu.Unlock()

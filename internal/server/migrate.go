@@ -188,6 +188,8 @@ func (m *Manager) Import(ctx context.Context, id string, stream []byte) (ImportR
 	}
 	ss := newSession(id, base.Path, base.Source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
 	ss.planCfg = m.planCfg
+	ss.gov = m.gov
+	ss.runCache = m.cfg.RunCacheDir
 	postErr, replayErr := replayJournal(ss, base, res.records[1:])
 	if postErr != nil || replayErr != nil {
 		err := replayErr

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"parascope/internal/execguard"
 	"parascope/internal/faultpoint"
 	"parascope/internal/planner"
 )
@@ -45,6 +46,11 @@ type planConfig struct {
 	sem     chan struct{}
 	cache   *planCache
 	timeout time.Duration
+	// gov supervises the planner's compiled scoring runs; nil means
+	// execguard defaults (standalone embedders).
+	gov *execguard.Governor
+	// cacheDir overrides the compile build cache for scoring (tests).
+	cacheDir string
 }
 
 func newPlanConfig(cfg Config) *planConfig {
@@ -57,9 +63,10 @@ func newPlanConfig(cfg Config) *planConfig {
 		n = defaultPlanCacheSize
 	}
 	return &planConfig{
-		sem:     make(chan struct{}, w),
-		cache:   newPlanCache(n),
-		timeout: cfg.PlanTimeout,
+		sem:      make(chan struct{}, w),
+		cache:    newPlanCache(n),
+		timeout:  cfg.PlanTimeout,
+		cacheDir: cfg.RunCacheDir,
 	}
 }
 
@@ -119,6 +126,10 @@ func (req PlanRequest) options(cfg *planConfig) planner.Options {
 		opts.Timeout = time.Duration(req.TimeoutMs) * time.Millisecond
 	} else if cfg != nil && cfg.timeout > 0 {
 		opts.Timeout = cfg.timeout
+	}
+	if cfg != nil {
+		opts.Gov = cfg.gov
+		opts.CompileCache = cfg.cacheDir
 	}
 	return opts
 }

@@ -156,6 +156,8 @@ func (m *Manager) recoverOne(id string, st *RecoveryStats) {
 	}
 	ss := newSession(id, base.Path, base.Source, art, live, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, jr, m.cfg.SnapshotEvery)
 	ss.planCfg = m.planCfg
+	ss.gov = m.gov
+	ss.runCache = m.cfg.RunCacheDir
 	postErr, replayErr := replayJournal(ss, base, res.records[1:])
 
 	m.mu.Lock()
@@ -249,6 +251,8 @@ func (ss *Session) applySnapshot(rec *record) error {
 func (m *Manager) registerHusk(id, path, reason string, st *RecoveryStats) {
 	ss := newSession(id, path, "", nil, nil, m.cfg.Workers, m.cfg.QueueDepth, m.metrics, nil, 0)
 	ss.planCfg = m.planCfg
+	ss.gov = m.gov
+	ss.runCache = m.cfg.RunCacheDir
 	ss.failRecovery(reason)
 	ss.walOrphan = walPath(m.cfg.DataDir, id)
 	m.mu.Lock()

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"parascope/internal/execguard"
 )
 
 // Default request-hardening limits; override via Options.
@@ -625,6 +627,10 @@ func writeOpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrSessionReadOnly):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, execguard.ErrBusy):
+		// Every exec slot is taken — admission control, not failure.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, context.DeadlineExceeded):

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"parascope/internal/core"
+	"parascope/internal/execguard"
 	"parascope/internal/faultpoint"
 	"parascope/internal/repl"
 	"parascope/internal/view"
@@ -120,6 +121,13 @@ type Session struct {
 	// the manager right after construction (nil = standalone defaults).
 	plan    planState
 	planCfg *planConfig
+
+	// gov is the daemon-wide execution governor (run limits, exec
+	// slots, telemetry), set by the manager right after construction
+	// (nil = standalone defaults, unbounded admission). runCache is
+	// the manager's compile build-cache override (empty = default).
+	gov      *execguard.Governor
+	runCache string
 
 	// Actor-confined state below: only the run() goroutine touches it.
 	art     *Artifacts
@@ -579,9 +587,12 @@ func (ss *Session) Cmd(ctx context.Context, line string) (CmdResponse, error) {
 // consume the live AST.
 func (ss *Session) Run(ctx context.Context, req RunRequest) (RunResponse, error) {
 	ereq := core.ExecRequest{
-		Backend: req.Backend,
-		Workers: req.Workers,
-		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		Backend:  req.Backend,
+		Workers:  req.Workers,
+		Timeout:  time.Duration(req.TimeoutMs) * time.Millisecond,
+		CacheDir: ss.runCache,
+		Fallback: req.Fallback,
+		Gov:      ss.gov,
 	}
 	if w := workloads.ByName(strings.TrimSuffix(ss.path, ".f")); w != nil {
 		ereq.Input = w.Input
@@ -593,7 +604,7 @@ func (ss *Session) Run(ctx context.Context, req RunRequest) (RunResponse, error)
 			return
 		}
 		var res core.ExecResult
-		if res, opErr = ss.live.Exec(ereq); opErr != nil {
+		if res, opErr = ss.live.Exec(ctx, ereq); opErr != nil {
 			return
 		}
 		resp = RunResponse{
@@ -601,6 +612,7 @@ func (ss *Session) Run(ctx context.Context, req RunRequest) (RunResponse, error)
 			WallMicros: res.Wall.Microseconds(),
 			SimCycles:  res.SimCycles,
 			Backend:    res.Backend,
+			Fallback:   res.FallbackReason,
 		}
 	}, true)
 	if err != nil {
